@@ -1,0 +1,393 @@
+//! Static compaction of test sequences by vector omission.
+//!
+//! This is the sequence-compaction primitive the paper's Phase 2 uses (it
+//! cites \[8\]): omit as many vectors as possible from a sequence without
+//! losing the detection of any target fault. Every candidate omission is
+//! verified by fault simulation of the shortened sequence.
+//!
+//! Two techniques keep this affordable on long sequences:
+//!
+//! - **Chunked sweeps** (delta-debugging style): large blocks are tried
+//!   before single vectors, so highly compactable sequences collapse in
+//!   `O(log L)` rounds.
+//! - **Prefix invariance**: every sweep runs strictly *descending* through
+//!   positions, so the prefix below the current attempt is never modified
+//!   within a sweep. A fault whose primary-output detection time (from a
+//!   detection profile computed at sweep start) lies strictly inside that
+//!   prefix is guaranteed to stay detected, and only the remaining faults —
+//!   late detections and faults observed solely at scan-out — need to be
+//!   re-simulated per attempt. This cuts most attempts from the full fault
+//!   set to a handful of parallel-fault groups.
+
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{SeqFaultSim, Sequence, State};
+
+/// Configuration for [`omit_vectors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmissionConfig {
+    /// Maximum single-vector sweeps after the chunked rounds.
+    pub max_passes: usize,
+    /// Whether to run the chunked (delta-debugging style) rounds first.
+    pub chunked: bool,
+    /// Upper bound on fault-simulation attempts (profile simulations at
+    /// sweep starts count too).
+    pub attempt_budget: usize,
+}
+
+impl Default for OmissionConfig {
+    fn default() -> Self {
+        OmissionConfig {
+            max_passes: 2,
+            chunked: true,
+            attempt_budget: usize::MAX,
+        }
+    }
+}
+
+/// Statistics returned by [`omit_vectors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OmissionStats {
+    /// Fault-simulation attempts performed (including per-sweep profiling).
+    pub attempts: usize,
+    /// Vectors removed.
+    pub removed: usize,
+}
+
+/// Omits vectors from `seq` while preserving detection of every fault in
+/// `targets` (fault simulation from `init`, observing primary outputs every
+/// cycle and, when `observe_final_state` is set, the state after the last
+/// cycle).
+///
+/// Returns the shortened sequence and statistics. The result always detects
+/// every target fault that the input sequence detects; callers normally
+/// pass exactly the detected set (the paper's `F_SO`).
+pub fn omit_vectors(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    init: &State,
+    seq: &Sequence,
+    targets: &[FaultId],
+    observe_final_state: bool,
+    cfg: OmissionConfig,
+) -> (Sequence, OmissionStats) {
+    let mut stats = OmissionStats::default();
+    if seq.len() <= 1 || targets.is_empty() {
+        return (seq.clone(), stats);
+    }
+    let mut fsim = SeqFaultSim::new(nl);
+    let mut current = seq.clone();
+
+    // Sweep schedule: halving chunk sizes down to 1, then extra
+    // single-vector passes.
+    let mut chunks: Vec<usize> = Vec::new();
+    if cfg.chunked {
+        let mut c = current.len() / 2;
+        while c >= 2 {
+            chunks.push(c);
+            c /= 2;
+        }
+    }
+    chunks.extend(std::iter::repeat_n(1, cfg.max_passes.max(1)));
+
+    for chunk in chunks {
+        if stats.attempts >= cfg.attempt_budget || current.len() <= 1 {
+            break;
+        }
+        let changed = sweep(
+            nl,
+            universe,
+            &mut fsim,
+            init,
+            &mut current,
+            targets,
+            observe_final_state,
+            chunk,
+            cfg.attempt_budget,
+            &mut stats,
+        );
+        if chunk == 1 && !changed {
+            break;
+        }
+    }
+    (current, stats)
+}
+
+/// One strictly-descending sweep at a fixed chunk size. Returns whether any
+/// removal was accepted.
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    _nl: &Netlist,
+    universe: &FaultUniverse,
+    fsim: &mut SeqFaultSim<'_>,
+    init: &State,
+    current: &mut Sequence,
+    targets: &[FaultId],
+    observe_final_state: bool,
+    chunk: usize,
+    budget: usize,
+    stats: &mut OmissionStats,
+) -> bool {
+    if current.len() <= 1 {
+        return false;
+    }
+    // Profile the sweep's starting sequence. `po_detect` times anchor the
+    // prefix-invariance rule; faults without a primary-output detection
+    // (scan-out-only, or undetected) must be re-checked on every attempt.
+    stats.attempts += 1;
+    let profiles = fsim.profiles(init, current, targets, universe);
+    let mut keyed: Vec<(u32, FaultId)> = targets
+        .iter()
+        .zip(profiles.iter())
+        .map(|(&f, p)| (p.po_detect.unwrap_or(u32::MAX), f))
+        .collect();
+    keyed.sort_unstable();
+    let keys: Vec<u32> = keyed.iter().map(|&(k, _)| k).collect();
+    let ordered: Vec<FaultId> = keyed.iter().map(|&(_, f)| f).collect();
+
+    let mut changed = false;
+    let mut t = current.len().saturating_sub(chunk);
+    loop {
+        if stats.attempts >= budget {
+            break;
+        }
+        let end = (t + chunk).min(current.len());
+        if end > t && current.len() - (end - t) >= 1 {
+            // Faults safely detected strictly before position `t` keep
+            // their detection (the prefix is untouched by this and all
+            // later attempts of this descending sweep).
+            let first = keys.partition_point(|&k| k < t as u32);
+            let check = &ordered[first..];
+            let candidate = remove_range(current, t, end);
+            stats.attempts += 1;
+            let ok = check.is_empty()
+                || fsim
+                    .detect(init, &candidate, check, universe, observe_final_state)
+                    .iter()
+                    .all(|&d| d);
+            if ok {
+                stats.removed += end - t;
+                *current = candidate;
+                changed = true;
+            }
+        }
+        if t == 0 {
+            break;
+        }
+        t = t.saturating_sub(chunk);
+    }
+    changed
+}
+
+fn remove_range(seq: &Sequence, start: usize, end: usize) -> Sequence {
+    seq.iter()
+        .enumerate()
+        .filter(|(i, _)| *i < start || *i >= end)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_sim::vectors::parse_values;
+    use atspeed_sim::V3;
+
+    fn padded_sequence() -> (Sequence, State) {
+        // A sequence with obviously redundant repeated vectors.
+        let rows = [
+            "1010", "1010", "1010", "0110", "0110", "0001", "0001", "1111", "0000", "0000",
+        ];
+        let seq: Sequence = rows.iter().map(|r| parse_values(r)).collect();
+        (seq, parse_values("010"))
+    }
+
+    fn detected_targets(
+        nl: &atspeed_circuit::Netlist,
+        u: &FaultUniverse,
+        init: &State,
+        seq: &Sequence,
+    ) -> Vec<FaultId> {
+        let mut fsim = SeqFaultSim::new(nl);
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let det = fsim.detect(init, seq, &reps, u, true);
+        reps.iter()
+            .zip(det.iter())
+            .filter(|(_, &d)| d)
+            .map(|(&f, _)| f)
+            .collect()
+    }
+
+    #[test]
+    fn omission_preserves_detection() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        assert!(!targets.is_empty());
+        let (short, stats) = omit_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            OmissionConfig::default(),
+        );
+        assert!(short.len() <= seq.len());
+        assert_eq!(stats.removed, seq.len() - short.len());
+        let mut fsim = SeqFaultSim::new(&nl);
+        let det_after = fsim.detect(&init, &short, &targets, &u, true);
+        assert!(det_after.iter().all(|&d| d), "no target fault lost");
+    }
+
+    #[test]
+    fn removes_redundant_duplicates() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        let (short, _) = omit_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            OmissionConfig::default(),
+        );
+        assert!(
+            short.len() < seq.len(),
+            "duplicate-laden sequence must shrink ({} -> {})",
+            seq.len(),
+            short.len()
+        );
+    }
+
+    #[test]
+    fn matches_unoptimized_reference_on_random_sequences() {
+        // Differential test for the prefix-invariance optimization: a naive
+        // single-vector descending sweep that re-simulates *all* targets
+        // must leave the result detecting the same faults (final lengths
+        // may differ only if acceptance decisions differ, which soundness
+        // forbids — both must accept exactly when coverage is preserved,
+        // so with the same sweep schedule the results must be identical).
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let seq: Sequence = crate::seq_tgen::random_t0(&nl, 24, 77)
+            .iter()
+            .cloned()
+            .collect();
+        let init = parse_values("000");
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        if targets.is_empty() {
+            return;
+        }
+        // Optimized: singles-only, one pass.
+        let cfg = OmissionConfig {
+            max_passes: 1,
+            chunked: false,
+            attempt_budget: usize::MAX,
+        };
+        let (fast, _) = omit_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
+        // Reference: naive descending single sweep.
+        let mut fsim = SeqFaultSim::new(&nl);
+        let mut reference = seq.clone();
+        let mut t = reference.len();
+        while t > 0 {
+            t -= 1;
+            if reference.len() == 1 {
+                break;
+            }
+            let mut cand = reference.clone();
+            cand.remove(t);
+            if fsim
+                .detect(&init, &cand, &targets, &u, true)
+                .iter()
+                .all(|&d| d)
+            {
+                reference = cand;
+            }
+        }
+        assert_eq!(fast, reference, "optimized sweep diverged from reference");
+    }
+
+    #[test]
+    fn respects_attempt_budget() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let cfg = OmissionConfig {
+            attempt_budget: 3,
+            ..OmissionConfig::default()
+        };
+        let (_, stats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
+        assert!(stats.attempts <= 3);
+    }
+
+    #[test]
+    fn single_vector_sequence_is_untouched() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let seq: Sequence = std::iter::once(parse_values("1010")).collect();
+        let (short, stats) = omit_vectors(
+            &nl,
+            &u,
+            &parse_values("000"),
+            &seq,
+            u.representatives(),
+            true,
+            OmissionConfig::default(),
+        );
+        assert_eq!(short.len(), 1);
+        assert_eq!(stats.attempts, 0);
+    }
+
+    #[test]
+    fn empty_target_set_is_a_noop() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let (short, stats) =
+            omit_vectors(&nl, &u, &init, &seq, &[], true, OmissionConfig::default());
+        assert_eq!(short.len(), seq.len());
+        assert_eq!(stats.attempts, 0);
+    }
+
+    #[test]
+    fn chunked_and_plain_agree_on_coverage() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        let mut fsim = SeqFaultSim::new(&nl);
+        for chunked in [false, true] {
+            let cfg = OmissionConfig {
+                chunked,
+                ..OmissionConfig::default()
+            };
+            let (short, _) = omit_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
+            let ok = fsim.detect(&init, &short, &targets, &u, true);
+            assert!(ok.iter().all(|&d| d), "chunked={chunked}");
+        }
+    }
+
+    #[test]
+    fn all_x_vectors_do_not_crash() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let seq: Sequence = (0..4).map(|_| vec![V3::X; 4]).collect();
+        let (short, _) = omit_vectors(
+            &nl,
+            &u,
+            &vec![V3::X; 3],
+            &seq,
+            &[],
+            false,
+            OmissionConfig::default(),
+        );
+        assert_eq!(short.len(), 4);
+    }
+}

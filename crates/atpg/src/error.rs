@@ -1,0 +1,53 @@
+//! Error type for test generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by test generation entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AtpgError {
+    /// A configuration value is out of range.
+    BadConfig {
+        /// Which parameter is invalid.
+        parameter: &'static str,
+        /// Explanation of the constraint.
+        message: String,
+    },
+    /// The circuit has no faults to target.
+    EmptyFaultList,
+}
+
+impl fmt::Display for AtpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtpgError::BadConfig { parameter, message } => {
+                write!(f, "invalid configuration `{parameter}`: {message}")
+            }
+            AtpgError::EmptyFaultList => write!(f, "fault list is empty"),
+        }
+    }
+}
+
+impl Error for AtpgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AtpgError::BadConfig {
+            parameter: "max_len",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("max_len"));
+        assert_eq!(AtpgError::EmptyFaultList.to_string(), "fault list is empty");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<AtpgError>();
+    }
+}

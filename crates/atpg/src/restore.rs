@@ -1,0 +1,288 @@
+//! Vector-restoration-based static compaction of test sequences (the
+//! approach of the paper's reference \[11\]).
+//!
+//! Where [omission](crate::compact) *removes* vectors from a full sequence,
+//! restoration builds the compacted sequence *up*: starting from an empty
+//! selection, faults are processed in order of decreasing detection time,
+//! and for each fault still undetected by the selected subsequence, vectors
+//! are restored — backwards from the fault's detection time — until the
+//! subsequence detects it again. Vectors never selected are dropped.
+//!
+//! Restoration tends to beat single-pass omission when only a few "anchor"
+//! vectors matter, and it is the compaction STRATEGATE-generated sequences
+//! went through before the paper used them as `T_0`.
+
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{SeqFaultSim, Sequence, State};
+
+/// Configuration for [`restore_vectors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestorationConfig {
+    /// Upper bound on fault-simulation runs.
+    pub attempt_budget: usize,
+    /// Restore this many vectors per step before re-checking detection
+    /// (larger batches simulate less but may restore more than needed).
+    pub batch: usize,
+}
+
+impl Default for RestorationConfig {
+    fn default() -> Self {
+        RestorationConfig {
+            attempt_budget: usize::MAX,
+            batch: 4,
+        }
+    }
+}
+
+/// Statistics returned by [`restore_vectors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestorationStats {
+    /// Fault-simulation runs performed.
+    pub attempts: usize,
+    /// Vectors restored (the final sequence length).
+    pub restored: usize,
+}
+
+/// Compacts `seq` by vector restoration, preserving detection of every
+/// fault in `targets` that the full sequence detects.
+///
+/// Faults the full sequence does *not* detect are ignored (they constrain
+/// nothing). If the budget runs out mid-restoration, the remaining original
+/// vectors are restored wholesale so the guarantee still holds.
+pub fn restore_vectors(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    init: &State,
+    seq: &Sequence,
+    targets: &[FaultId],
+    observe_final_state: bool,
+    cfg: RestorationConfig,
+) -> (Sequence, RestorationStats) {
+    let mut stats = RestorationStats::default();
+    if seq.len() <= 1 || targets.is_empty() {
+        stats.restored = seq.len();
+        return (seq.clone(), stats);
+    }
+    let mut fsim = SeqFaultSim::new(nl);
+
+    // Detection profile of the full sequence: the anchor times.
+    stats.attempts += 1;
+    let profiles = fsim.profiles(init, seq, targets, universe);
+    let mut anchored: Vec<(u32, FaultId)> = targets
+        .iter()
+        .zip(profiles.iter())
+        .filter_map(|(&f, p)| {
+            let t = if observe_final_state {
+                p.earliest_detection()
+            } else {
+                p.po_detect
+            };
+            t.map(|t| (t, f))
+        })
+        .collect();
+    // Decreasing detection time.
+    anchored.sort_unstable_by(|a, b| b.cmp(a));
+    if anchored.is_empty() {
+        stats.restored = seq.len();
+        return (seq.clone(), stats);
+    }
+
+    let mut kept = vec![false; seq.len()];
+    let subsequence = |kept: &[bool]| -> Sequence {
+        seq.iter()
+            .enumerate()
+            .filter(|(i, _)| kept[*i])
+            .map(|(_, v)| v.clone())
+            .collect()
+    };
+
+    for &(t, fault) in &anchored {
+        if stats.attempts >= cfg.attempt_budget {
+            // Budget exhausted: restore everything still missing so the
+            // coverage guarantee holds unconditionally.
+            kept.iter_mut().for_each(|k| *k = true);
+            break;
+        }
+        // Already covered by the current selection?
+        let sub = subsequence(&kept);
+        if !sub.is_empty() {
+            stats.attempts += 1;
+            if fsim.detect(init, &sub, &[fault], universe, observe_final_state)[0] {
+                continue;
+            }
+        }
+        // Restore backwards from the anchor until the fault is detected.
+        let mut next = t as usize;
+        loop {
+            let mut restored_any = false;
+            for _ in 0..cfg.batch.max(1) {
+                // Find the highest un-restored position ≤ next.
+                let Some(pos) = (0..=next).rev().find(|&p| !kept[p]) else {
+                    break;
+                };
+                kept[pos] = true;
+                restored_any = true;
+                next = pos.saturating_sub(1);
+                if pos == 0 {
+                    break;
+                }
+            }
+            if !restored_any {
+                break;
+            }
+            stats.attempts += 1;
+            let sub = subsequence(&kept);
+            if fsim.detect(init, &sub, &[fault], universe, observe_final_state)[0] {
+                break;
+            }
+            if kept.iter().all(|&k| k) {
+                break;
+            }
+            if stats.attempts >= cfg.attempt_budget {
+                kept.iter_mut().for_each(|k| *k = true);
+                break;
+            }
+        }
+    }
+
+    let result = subsequence(&kept);
+    stats.restored = result.len();
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_sim::vectors::parse_values;
+
+    fn setup() -> (atspeed_circuit::Netlist, FaultUniverse, Sequence, State) {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let rows = [
+            "1010", "1010", "0110", "0110", "0001", "0001", "1111", "0000", "1001", "0000",
+        ];
+        let seq: Sequence = rows.iter().map(|r| parse_values(r)).collect();
+        (nl, u, seq, parse_values("010"))
+    }
+
+    fn detected(
+        nl: &atspeed_circuit::Netlist,
+        u: &FaultUniverse,
+        init: &State,
+        seq: &Sequence,
+    ) -> Vec<FaultId> {
+        let mut fsim = SeqFaultSim::new(nl);
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let det = fsim.detect(init, seq, &reps, u, true);
+        reps.iter()
+            .zip(det.iter())
+            .filter(|(_, &d)| d)
+            .map(|(&f, _)| f)
+            .collect()
+    }
+
+    #[test]
+    fn restoration_preserves_detection() {
+        let (nl, u, seq, init) = setup();
+        let targets = detected(&nl, &u, &init, &seq);
+        assert!(!targets.is_empty());
+        let (short, stats) = restore_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            RestorationConfig::default(),
+        );
+        assert_eq!(stats.restored, short.len());
+        assert!(short.len() <= seq.len());
+        let mut fsim = SeqFaultSim::new(&nl);
+        let after = fsim.detect(&init, &short, &targets, &u, true);
+        assert!(after.iter().all(|&d| d), "restoration lost a fault");
+    }
+
+    #[test]
+    fn restoration_and_omission_agree_on_coverage() {
+        use crate::compact::{omit_vectors, OmissionConfig};
+        let (nl, u, seq, init) = setup();
+        let targets = detected(&nl, &u, &init, &seq);
+        let (restored, _) = restore_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            RestorationConfig::default(),
+        );
+        let (omitted, _) = omit_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            OmissionConfig::default(),
+        );
+        let mut fsim = SeqFaultSim::new(&nl);
+        for (label, s) in [("restored", &restored), ("omitted", &omitted)] {
+            let ok = fsim.detect(&init, s, &targets, &u, true);
+            assert!(ok.iter().all(|&d| d), "{label} lost a fault");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back_to_full_sequence_coverage() {
+        let (nl, u, seq, init) = setup();
+        let targets = detected(&nl, &u, &init, &seq);
+        let cfg = RestorationConfig {
+            attempt_budget: 2,
+            ..RestorationConfig::default()
+        };
+        let (short, _) = restore_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
+        let mut fsim = SeqFaultSim::new(&nl);
+        let ok = fsim.detect(&init, &short, &targets, &u, true);
+        assert!(ok.iter().all(|&d| d), "guarantee must hold under any budget");
+    }
+
+    #[test]
+    fn ignores_undetected_targets() {
+        let (nl, u, seq, init) = setup();
+        // Pass ALL representatives (some undetected by this short seq).
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let (short, _) = restore_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &reps,
+            true,
+            RestorationConfig::default(),
+        );
+        // Detected subset must stay detected.
+        let targets = detected(&nl, &u, &init, &seq);
+        let mut fsim = SeqFaultSim::new(&nl);
+        let ok = fsim.detect(&init, &short, &targets, &u, true);
+        assert!(ok.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn trivial_sequences_pass_through() {
+        let (nl, u, _, init) = setup();
+        let one: Sequence = std::iter::once(parse_values("1010")).collect();
+        let (out, stats) = restore_vectors(
+            &nl,
+            &u,
+            &init,
+            &one,
+            u.representatives(),
+            true,
+            RestorationConfig::default(),
+        );
+        assert_eq!(out, one);
+        assert_eq!(stats.restored, 1);
+    }
+}

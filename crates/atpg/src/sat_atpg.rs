@@ -1,0 +1,422 @@
+//! SAT-based combinational test generation.
+//!
+//! A second, structurally independent ATPG engine used to cross-validate
+//! [PODEM](crate::podem): the full-scan test-generation problem for one
+//! stuck-at fault is encoded as a CNF *miter* — the fault-free circuit and
+//! the faulty cone share the primary-input/pseudo-primary-input variables,
+//! and at least one observation point must differ — and handed to the
+//! in-tree [DPLL solver](crate::sat). SAT ⇒ the model's inputs are a test;
+//! UNSAT ⇒ the fault is untestable. Both engines are complete, so their
+//! testable/untestable verdicts must agree exactly (see the differential
+//! tests).
+
+use std::collections::HashMap;
+
+use atspeed_circuit::{GateKind, NetId, Netlist, Sink};
+use atspeed_sim::fault::{Fault, FaultSite};
+use atspeed_sim::{CombTest, V3};
+
+use crate::sat::{Lit, SatResult, Solver, Var};
+
+/// Outcome of one SAT-ATPG run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatAtpgOutcome {
+    /// A test was found (inputs the model leaves free are X).
+    Test(CombTest),
+    /// The miter is unsatisfiable: the fault is untestable.
+    Untestable,
+    /// The decision budget ran out.
+    Aborted,
+}
+
+/// Configuration for [`SatAtpg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatAtpgConfig {
+    /// Decision budget per fault.
+    pub max_decisions: usize,
+}
+
+impl Default for SatAtpgConfig {
+    fn default() -> Self {
+        SatAtpgConfig {
+            max_decisions: 200_000,
+        }
+    }
+}
+
+/// SAT-based test generator.
+#[derive(Debug)]
+pub struct SatAtpg<'a> {
+    nl: &'a Netlist,
+    cfg: SatAtpgConfig,
+}
+
+impl<'a> SatAtpg<'a> {
+    /// Creates a generator for `nl`.
+    pub fn new(nl: &'a Netlist, cfg: SatAtpgConfig) -> Self {
+        SatAtpg { nl, cfg }
+    }
+
+    /// Attempts to generate a test for `fault`.
+    pub fn generate(&self, fault: Fault) -> SatAtpgOutcome {
+        let nl = self.nl;
+        let mut solver = Solver::new();
+
+        // Good-circuit variables for every net.
+        let good: Vec<Var> = (0..nl.num_nets()).map(|_| solver.new_var()).collect();
+        for &gid in nl.topo_order() {
+            let gate = nl.gate(gid);
+            let ins: Vec<Lit> = gate
+                .inputs()
+                .iter()
+                .map(|i| Lit::pos(good[i.index()]))
+                .collect();
+            encode_gate(&mut solver, gate.kind(), good[gate.output().index()], &ins);
+        }
+
+        // Observation-pin faults reduce to a value requirement on the net.
+        match fault.site {
+            FaultSite::FfPin(ff) => {
+                let net = nl.ff(ff).d();
+                solver.add_clause([Lit::with_sign(good[net.index()], !fault.stuck)]);
+                return self.finish(&mut solver, &good);
+            }
+            FaultSite::PoPin(po) => {
+                let net = nl.pos()[po.index()];
+                solver.add_clause([Lit::with_sign(good[net.index()], !fault.stuck)]);
+                return self.finish(&mut solver, &good);
+            }
+            _ => {}
+        }
+
+        // Faulty cone: fresh variables only for nets reachable from the
+        // fault site; everything else aliases the good variable.
+        let cone = fanout_cone(nl, fault);
+        let mut faulty: HashMap<NetId, Var> = HashMap::new();
+        for &net in &cone {
+            faulty.insert(net, solver.new_var());
+        }
+        let flit = |n: NetId, faulty: &HashMap<NetId, Var>| -> Lit {
+            Lit::pos(*faulty.get(&n).unwrap_or(&good[n.index()]))
+        };
+
+        match fault.site {
+            FaultSite::Stem(site) => {
+                // The faulty site holds the stuck value; excitation forces
+                // the good value to its complement.
+                solver.add_clause([Lit::with_sign(
+                    *faulty.get(&site).expect("site is in its own cone"),
+                    fault.stuck,
+                )]);
+                solver.add_clause([Lit::with_sign(good[site.index()], !fault.stuck)]);
+            }
+            FaultSite::GatePin(fg, fp) => {
+                // The faulty gate sees a constant on the faulted pin; its
+                // output net is the cone root. Excitation forces the true
+                // pin value to the complement of the stuck value.
+                let gate = nl.gate(fg);
+                let root = gate.output();
+                let pin_net = gate.inputs()[fp as usize];
+                solver.add_clause([Lit::with_sign(good[pin_net.index()], !fault.stuck)]);
+                let const_var = solver.new_var();
+                solver.add_clause([Lit::with_sign(const_var, fault.stuck)]);
+                let ins: Vec<Lit> = gate
+                    .inputs()
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &inet)| {
+                        if p == fp as usize {
+                            Lit::pos(const_var)
+                        } else {
+                            flit(inet, &faulty)
+                        }
+                    })
+                    .collect();
+                encode_gate(
+                    &mut solver,
+                    gate.kind(),
+                    *faulty.get(&root).expect("root in cone"),
+                    &ins,
+                );
+            }
+            _ => unreachable!("observation pins handled above"),
+        }
+
+        // Encode every gate whose output lies in the cone (inputs read the
+        // faulty variable where one exists, the good one otherwise). The
+        // constant stem and the pin-fault root are already constrained.
+        for &gid in nl.topo_order() {
+            let gate = nl.gate(gid);
+            let out = gate.output();
+            if !faulty.contains_key(&out) {
+                continue;
+            }
+            if let FaultSite::GatePin(fg, _) = fault.site {
+                if fg == gid {
+                    continue;
+                }
+            }
+            if let FaultSite::Stem(site) = fault.site {
+                if site == out {
+                    continue;
+                }
+            }
+            let ins: Vec<Lit> = gate
+                .inputs()
+                .iter()
+                .map(|&inet| flit(inet, &faulty))
+                .collect();
+            encode_gate(&mut solver, gate.kind(), faulty[&out], &ins);
+        }
+
+        // Miter: at least one observed net in the cone differs.
+        let mut diff_lits = Vec::new();
+        let mut cone_sorted: Vec<NetId> = cone.clone();
+        cone_sorted.sort_unstable();
+        for net in cone_sorted {
+            let fvar = faulty[&net];
+            let observed = nl
+                .fanouts(net)
+                .iter()
+                .any(|s| matches!(s, Sink::Po(_) | Sink::FfD(_)));
+            if !observed {
+                continue;
+            }
+            // d <-> (g xor f)
+            let d = solver.new_var();
+            encode_xor2(&mut solver, Lit::pos(d), Lit::pos(good[net.index()]), Lit::pos(fvar));
+            diff_lits.push(Lit::pos(d));
+        }
+        if diff_lits.is_empty() {
+            return SatAtpgOutcome::Untestable;
+        }
+        solver.add_clause(diff_lits);
+
+        self.finish(&mut solver, &good)
+    }
+
+    fn finish(&self, solver: &mut Solver, good: &[Var]) -> SatAtpgOutcome {
+        match solver.solve(self.cfg.max_decisions) {
+            SatResult::Unsat => SatAtpgOutcome::Untestable,
+            SatResult::Unknown => SatAtpgOutcome::Aborted,
+            SatResult::Sat => {
+                let nl = self.nl;
+                let value_of = |net: NetId| -> V3 {
+                    match solver.value(good[net.index()]) {
+                        Some(true) => V3::One,
+                        Some(false) => V3::Zero,
+                        None => V3::X,
+                    }
+                };
+                SatAtpgOutcome::Test(CombTest::new(
+                    nl.ffs().iter().map(|ff| value_of(ff.q())).collect(),
+                    nl.pis().iter().map(|&pi| value_of(pi)).collect(),
+                ))
+            }
+        }
+    }
+}
+
+/// Nets whose value can differ under the fault: forward reachable from the
+/// fault site (for a stem fault, the site itself; for a pin fault, the
+/// consuming gate's output).
+fn fanout_cone(nl: &Netlist, fault: Fault) -> Vec<NetId> {
+    let mut roots = Vec::new();
+    match fault.site {
+        FaultSite::Stem(n) => roots.push(n),
+        FaultSite::GatePin(g, _) => roots.push(nl.gate(g).output()),
+        FaultSite::FfPin(_) | FaultSite::PoPin(_) => return Vec::new(),
+    }
+    let mut in_cone = vec![false; nl.num_nets()];
+    let mut stack = roots;
+    let mut cone = Vec::new();
+    while let Some(net) = stack.pop() {
+        if in_cone[net.index()] {
+            continue;
+        }
+        in_cone[net.index()] = true;
+        cone.push(net);
+        for &sink in nl.fanouts(net) {
+            if let Sink::GatePin(g, _) = sink {
+                stack.push(nl.gate(g).output());
+            }
+        }
+    }
+    cone
+}
+
+/// Tseitin encoding of `out = kind(ins)`.
+fn encode_gate(solver: &mut Solver, kind: GateKind, out: Var, ins: &[Lit]) {
+    let out_pos = Lit::pos(out);
+    let out_neg = Lit::neg(out);
+    match kind {
+        GateKind::Buf => {
+            solver.add_clause([out_neg, ins[0]]);
+            solver.add_clause([out_pos, ins[0].negate()]);
+        }
+        GateKind::Not => {
+            solver.add_clause([out_neg, ins[0].negate()]);
+            solver.add_clause([out_pos, ins[0]]);
+        }
+        GateKind::And | GateKind::Nand => {
+            let o = if kind == GateKind::And { out_pos } else { out_neg };
+            let no = o.negate();
+            // o -> every input; (all inputs) -> o.
+            for &i in ins {
+                solver.add_clause([no, i]);
+            }
+            let mut cl: Vec<Lit> = ins.iter().map(|l| l.negate()).collect();
+            cl.push(o);
+            solver.add_clause(cl);
+        }
+        GateKind::Or | GateKind::Nor => {
+            let o = if kind == GateKind::Or { out_pos } else { out_neg };
+            let no = o.negate();
+            for &i in ins {
+                solver.add_clause([o, i.negate()]);
+            }
+            let mut cl: Vec<Lit> = ins.to_vec();
+            cl.push(no);
+            solver.add_clause(cl);
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let o = if kind == GateKind::Xor { out_pos } else { out_neg };
+            if ins.len() == 1 {
+                // Single-input XOR behaves as a buffer.
+                solver.add_clause([o.negate(), ins[0]]);
+                solver.add_clause([o, ins[0].negate()]);
+                return;
+            }
+            // Chain binary XORs through auxiliary variables.
+            let mut acc = ins[0];
+            for &next in &ins[1..ins.len() - 1] {
+                let t = solver.new_var();
+                encode_xor2(solver, Lit::pos(t), acc, next);
+                acc = Lit::pos(t);
+            }
+            encode_xor2(solver, o, acc, ins[ins.len() - 1]);
+        }
+    }
+}
+
+/// `o <-> a xor b` for arbitrary literals.
+fn encode_xor2(solver: &mut Solver, o: Lit, a: Lit, b: Lit) {
+    solver.add_clause([o.negate(), a, b]);
+    solver.add_clause([o.negate(), a.negate(), b.negate()]);
+    solver.add_clause([o, a.negate(), b]);
+    solver.add_clause([o, a, b.negate()]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::podem::{Podem, PodemConfig, PodemOutcome};
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_circuit::synth::{generate, SynthSpec};
+    use atspeed_sim::fault::FaultUniverse;
+    use atspeed_sim::CombFaultSim;
+
+    fn verify(nl: &Netlist, fid: atspeed_sim::FaultId, t: &CombTest) -> bool {
+        let u = FaultUniverse::full(nl);
+        let mut sim = CombFaultSim::new(nl);
+        sim.detect_block(std::slice::from_ref(t), &[fid], &u)[0] & 1 != 0
+    }
+
+    #[test]
+    fn generates_verified_tests_for_all_s27_faults() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let atpg = SatAtpg::new(&nl, SatAtpgConfig::default());
+        for &fid in u.representatives() {
+            match atpg.generate(u.fault(fid)) {
+                SatAtpgOutcome::Test(t) => {
+                    assert!(
+                        verify(&nl, fid, &t),
+                        "SAT test misses {}",
+                        u.fault(fid).describe(&nl)
+                    );
+                }
+                other => panic!(
+                    "s27 fault {} should be SAT-testable, got {other:?}",
+                    u.fault(fid).describe(&nl)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_podem_on_testability() {
+        // Both engines are complete: their testable/untestable verdicts
+        // must coincide on every fault of a random circuit.
+        let nl = generate(&SynthSpec::new("satdiff", 4, 2, 5, 60, 23)).unwrap();
+        let u = FaultUniverse::full(&nl);
+        let sat = SatAtpg::new(&nl, SatAtpgConfig::default());
+        let mut podem = Podem::new(
+            &nl,
+            PodemConfig {
+                backtrack_limit: 100_000,
+            },
+        );
+        for &fid in u.representatives() {
+            let sat_testable = match sat.generate(u.fault(fid)) {
+                SatAtpgOutcome::Test(t) => {
+                    assert!(verify(&nl, fid, &t));
+                    Some(true)
+                }
+                SatAtpgOutcome::Untestable => Some(false),
+                SatAtpgOutcome::Aborted => None,
+            };
+            let podem_testable = match podem.generate(u.fault(fid)) {
+                PodemOutcome::Test(_) => Some(true),
+                PodemOutcome::Untestable => Some(false),
+                PodemOutcome::Aborted => None,
+            };
+            if let (Some(a), Some(b)) = (sat_testable, podem_testable) {
+                assert_eq!(a, b, "engines disagree on {}", u.fault(fid).describe(&nl));
+            }
+        }
+    }
+
+    #[test]
+    fn proves_redundancy_via_unsat() {
+        use atspeed_circuit::NetlistBuilder;
+        let mut b = NetlistBuilder::new("red");
+        b.input("a");
+        b.gate(GateKind::Not, "an", &["a"]);
+        b.gate(GateKind::Or, "y", &["a", "an"]);
+        b.output("y");
+        let nl = b.finish().unwrap();
+        let u = FaultUniverse::full(&nl);
+        let y = nl.find_net("y").unwrap();
+        let fid = u
+            .all_ids()
+            .find(|&id| {
+                u.fault(id)
+                    == Fault {
+                        site: FaultSite::Stem(y),
+                        stuck: true,
+                    }
+            })
+            .unwrap();
+        let atpg = SatAtpg::new(&nl, SatAtpgConfig::default());
+        assert_eq!(atpg.generate(u.fault(fid)), SatAtpgOutcome::Untestable);
+    }
+
+    #[test]
+    fn handles_observation_pin_faults() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let atpg = SatAtpg::new(&nl, SatAtpgConfig::default());
+        let ffpin: Vec<_> = u
+            .all_ids()
+            .filter(|&id| matches!(u.fault(id).site, FaultSite::FfPin(_)))
+            .collect();
+        assert!(!ffpin.is_empty());
+        for fid in ffpin {
+            match atpg.generate(u.fault(fid)) {
+                SatAtpgOutcome::Test(t) => assert!(verify(&nl, fid, &t)),
+                other => panic!("FF pin fault should be testable: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the test-generation substrates.
+
+use atspeed_atpg::compact::{omit_vectors, OmissionConfig};
+use atspeed_atpg::podem::{Podem, PodemConfig, PodemOutcome};
+use atspeed_atpg::{directed_t0, property_t0, random_t0, DirectedConfig, PropertyConfig};
+use atspeed_circuit::synth::{generate, SynthSpec};
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{CombFaultSim, SeqFaultSim, Sequence, V3};
+use proptest::prelude::*;
+
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..6, 1usize..4, 1usize..7, 8usize..60, any::<u64>()).prop_map(
+        |(pis, pos, ffs, gates, seed)| {
+            generate(&SynthSpec::new("prop", pis, pos, ffs, gates, seed)).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every test PODEM produces is confirmed by fault simulation, and the
+    /// three outcomes partition the fault list.
+    #[test]
+    fn podem_tests_verify_by_simulation(nl in arb_netlist()) {
+        let u = FaultUniverse::full(&nl);
+        let mut podem = Podem::new(&nl, PodemConfig::default());
+        let mut csim = CombFaultSim::new(&nl);
+        for &fid in u.representatives().iter().take(40) {
+            match podem.generate(u.fault(fid)) {
+                PodemOutcome::Test(t) => {
+                    let m = csim.detect_block(std::slice::from_ref(&t), &[fid], &u);
+                    prop_assert!(m[0] & 1 != 0, "unverified test for {}",
+                        u.fault(fid).describe(&nl));
+                }
+                PodemOutcome::Untestable | PodemOutcome::Aborted => {}
+            }
+        }
+    }
+
+    /// Vector omission never loses a target fault, never grows the
+    /// sequence, and is deterministic.
+    #[test]
+    fn omission_is_sound(nl in arb_netlist(), seed in any::<u64>(), len in 4usize..24) {
+        let u = FaultUniverse::full(&nl);
+        let seq = random_t0(&nl, len, seed);
+        let init: Vec<V3> = vec![V3::Zero; nl.num_ffs()];
+        let mut fsim = SeqFaultSim::new(&nl);
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let det = fsim.detect(&init, &seq, &reps, &u, true);
+        let targets: Vec<FaultId> = reps
+            .iter()
+            .zip(det.iter())
+            .filter(|(_, &d)| d)
+            .map(|(&f, _)| f)
+            .collect();
+        let (short, stats) =
+            omit_vectors(&nl, &u, &init, &seq, &targets, true, OmissionConfig::default());
+        prop_assert!(short.len() <= seq.len());
+        prop_assert_eq!(stats.removed, seq.len() - short.len());
+        if !targets.is_empty() {
+            let after = fsim.detect(&init, &short, &targets, &u, true);
+            prop_assert!(after.iter().all(|&d| d), "omission lost a fault");
+        }
+        let (short2, _) =
+            omit_vectors(&nl, &u, &init, &seq, &targets, true, OmissionConfig::default());
+        prop_assert_eq!(short, short2, "omission must be deterministic");
+    }
+
+    /// All T0 generators emit fully-specified vectors of the right width
+    /// and respect their length caps.
+    #[test]
+    fn t0_generators_respect_contracts(nl in arb_netlist(), seed in any::<u64>()) {
+        let u = FaultUniverse::full(&nl);
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let check = |seq: &Sequence, cap: usize| {
+            assert!(seq.len() <= cap, "length cap violated");
+            for v in seq.iter() {
+                assert_eq!(v.len(), nl.num_pis());
+                assert!(v.iter().all(|x| x.is_known()), "X in generated vector");
+            }
+        };
+        check(&random_t0(&nl, 33, seed), 33);
+        let d = directed_t0(&nl, &u, &targets, &DirectedConfig {
+            max_len: 40,
+            seed,
+            ..DirectedConfig::default()
+        });
+        check(&d, 40);
+        let p = property_t0(&nl, &u, &targets, &PropertyConfig {
+            max_len: 40,
+            burst: 8,
+            seed,
+            ..PropertyConfig::default()
+        });
+        check(&p, 40);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// PODEM and the SAT engine are both complete: on any random circuit
+    /// their testable/untestable verdicts agree fault by fault (aborts,
+    /// which neither should hit at these budgets, are excused).
+    #[test]
+    fn podem_and_sat_atpg_agree(nl in arb_netlist()) {
+        use atspeed_atpg::sat_atpg::{SatAtpg, SatAtpgConfig, SatAtpgOutcome};
+        let u = FaultUniverse::full(&nl);
+        let sat = SatAtpg::new(&nl, SatAtpgConfig::default());
+        let mut podem = Podem::new(&nl, PodemConfig { backtrack_limit: 100_000 });
+        for &fid in u.representatives().iter().take(60) {
+            let s = match sat.generate(u.fault(fid)) {
+                SatAtpgOutcome::Test(_) => Some(true),
+                SatAtpgOutcome::Untestable => Some(false),
+                SatAtpgOutcome::Aborted => None,
+            };
+            let p = match podem.generate(u.fault(fid)) {
+                PodemOutcome::Test(_) => Some(true),
+                PodemOutcome::Untestable => Some(false),
+                PodemOutcome::Aborted => None,
+            };
+            if let (Some(a), Some(b)) = (s, p) {
+                prop_assert_eq!(a, b, "disagree on {}", u.fault(fid).describe(&nl));
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Times the workload behind Table 1: the full proposed pipeline (C
+//! generation, T0 generation, Phases 1-3) that yields the detected-fault
+//! columns, on small catalog circuits.
+
+use atspeed_circuit::catalog;
+use atspeed_core::{Pipeline, T0Source};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_detected");
+    g.sample_size(10);
+    for name in ["b02", "b01", "s298"] {
+        let nl = catalog::by_name(name).unwrap().instantiate();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = Pipeline::new(&nl)
+                    .t0_source(T0Source::Directed { max_len: 128 })
+                    .seed(2001)
+                    .phase4(false)
+                    .run()
+                    .unwrap();
+                black_box((r.t0_detected, r.tau_seq_detected, r.final_detected))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

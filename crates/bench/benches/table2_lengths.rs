@@ -1,0 +1,46 @@
+//! Times the workload behind Table 2: T0 generation plus the iterated
+//! Phases 1-2 that produce the T0/T_seq length columns.
+
+use atspeed_atpg::{directed_t0, DirectedConfig};
+use atspeed_circuit::catalog;
+use atspeed_core::iterate::{build_tau_seq, IterateConfig};
+use atspeed_sim::fault::FaultUniverse;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_lengths");
+    g.sample_size(10);
+    for name in ["b02", "s298"] {
+        let nl = catalog::by_name(name).unwrap().instantiate();
+        let u = FaultUniverse::full(&nl);
+        let targets = u.representatives().to_vec();
+        let comb = atspeed_atpg::comb_tset::generate(
+            &nl,
+            &u,
+            &atspeed_atpg::comb_tset::CombTsetConfig::default(),
+        )
+        .unwrap()
+        .tests;
+        let t0 = directed_t0(
+            &nl,
+            &u,
+            &targets,
+            &DirectedConfig {
+                max_len: 128,
+                ..DirectedConfig::default()
+            },
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r =
+                    build_tau_seq(&nl, &u, &t0, &comb, &targets, IterateConfig::default()).unwrap();
+                black_box((r.test.len(), r.iterations))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

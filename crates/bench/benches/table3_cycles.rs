@@ -1,0 +1,36 @@
+//! Times the workload behind Table 3: the [4] baseline (initial set plus
+//! static compaction by combining) whose clock-cycle columns anchor the
+//! comparison.
+
+use atspeed_atpg::comb_tset::{self, CombTsetConfig};
+use atspeed_circuit::catalog;
+use atspeed_core::phase4::baseline4;
+use atspeed_sim::fault::FaultUniverse;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_cycles");
+    g.sample_size(10);
+    for name in ["b02", "b06", "s298"] {
+        let nl = catalog::by_name(name).unwrap().instantiate();
+        let u = FaultUniverse::full(&nl);
+        let targets = u.representatives().to_vec();
+        let comb = comb_tset::generate(&nl, &u, &CombTsetConfig::default())
+            .unwrap()
+            .tests;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = baseline4(&nl, &u, &comb, &targets);
+                black_box((
+                    r.initial.clock_cycles(nl.num_ffs()),
+                    r.compacted.clock_cycles(nl.num_ffs()),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

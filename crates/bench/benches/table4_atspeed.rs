@@ -1,0 +1,35 @@
+//! Times the workload behind Table 4: the sequence-length statistics of
+//! compacted test sets, dominated by the Phase 4 combining of the proposed
+//! set.
+
+use atspeed_atpg::comb_tset::{self, CombTsetConfig};
+use atspeed_circuit::catalog;
+use atspeed_core::phase4::combine_tests;
+use atspeed_core::TestSet;
+use atspeed_sim::fault::FaultUniverse;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_atspeed");
+    g.sample_size(10);
+    for name in ["b02", "b06", "s298"] {
+        let nl = catalog::by_name(name).unwrap().instantiate();
+        let u = FaultUniverse::full(&nl);
+        let targets = u.representatives().to_vec();
+        let comb = comb_tset::generate(&nl, &u, &CombTsetConfig::default())
+            .unwrap()
+            .tests;
+        let set = TestSet::from_comb_tests(&comb);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (compacted, _) = combine_tests(&nl, &u, &set, &targets);
+                black_box(compacted.at_speed_stats())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Times the workload behind Table 5: the proposed pipeline driven by a
+//! random T0 sequence.
+
+use atspeed_circuit::catalog;
+use atspeed_core::{Pipeline, T0Source};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_random");
+    g.sample_size(10);
+    for name in ["b02", "b01", "s298"] {
+        let nl = catalog::by_name(name).unwrap().instantiate();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = Pipeline::new(&nl)
+                    .t0_source(T0Source::Random { len: 256 })
+                    .seed(2001)
+                    .run()
+                    .unwrap();
+                black_box((r.t0_detected, r.tau_seq_len, r.added_tests))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+use atspeed_atpg::comb_tset::{self, CombTsetConfig};
+use atspeed_atpg::{directed_t0, DirectedConfig};
+use atspeed_circuit::catalog;
+use atspeed_core::iterate::{build_tau_seq, IterateConfig};
+use atspeed_core::phase3::top_up;
+use atspeed_sim::fault::FaultUniverse;
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s298".into());
+    let nl = catalog::by_name(&name).unwrap().instantiate();
+    let mut t = Instant::now();
+    let u = FaultUniverse::full(&nl);
+    let targets = u.representatives().to_vec();
+    eprintln!(
+        "universe: {:?} ({} collapsed)",
+        t.elapsed(),
+        u.num_collapsed()
+    );
+
+    t = Instant::now();
+    let c = comb_tset::generate(&nl, &u, &CombTsetConfig::default()).unwrap();
+    eprintln!(
+        "comb tset: {:?} ({} tests, {} unt, {} ab)",
+        t.elapsed(),
+        c.tests.len(),
+        c.untestable.len(),
+        c.aborted.len()
+    );
+
+    t = Instant::now();
+    let t0 = directed_t0(&nl, &u, &targets, &DirectedConfig::default());
+    eprintln!("directed t0: {:?} (len {})", t.elapsed(), t0.len());
+
+    t = Instant::now();
+    let tau = build_tau_seq(&nl, &u, &t0, &c.tests, &targets, IterateConfig::default()).unwrap();
+    eprintln!(
+        "tau_seq: {:?} (len {}, {} det, {} iters)",
+        t.elapsed(),
+        tau.test.len(),
+        tau.detected.len(),
+        tau.iterations
+    );
+
+    t = Instant::now();
+    let undet: Vec<_> = targets
+        .iter()
+        .filter(|f| !tau.detected.contains(f))
+        .copied()
+        .collect();
+    let p3 = top_up(&nl, &u, &c.tests, &undet);
+    eprintln!("phase3: {:?} ({} added)", t.elapsed(), p3.added.len());
+}

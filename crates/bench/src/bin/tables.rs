@@ -1,0 +1,128 @@
+//! Regenerates the paper's Tables 1–5 over the benchmark catalog.
+//!
+//! Usage:
+//!
+//! ```text
+//! tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel]
+//! ```
+//!
+//! Without `--table`, all five tables print. `--circuits` filters by name
+//! (comma-separated); `--quick` uses reduced effort for smoke runs.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use atspeed_bench::runner::{run_circuit, run_circuits, Effort};
+use atspeed_bench::tables::render_table;
+use atspeed_circuit::catalog;
+
+struct Args {
+    table: Option<usize>,
+    circuits: Option<Vec<String>>,
+    quick: bool,
+    parallel: bool,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        table: None,
+        circuits: None,
+        quick: false,
+        parallel: true,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--table" => {
+                let v = it.next().ok_or("--table needs a number")?;
+                let n: usize = v.parse().map_err(|_| format!("bad table `{v}`"))?;
+                if !(1..=5).contains(&n) {
+                    return Err(format!("table {n} out of range (paper has 1-5)"));
+                }
+                args.table = Some(n);
+            }
+            "--circuits" => {
+                let v = it.next().ok_or("--circuits needs a list")?;
+                args.circuits = Some(v.split(',').map(str::to_owned).collect());
+            }
+            "--quick" => args.quick = true,
+            "--csv" => {
+                args.csv = Some(it.next().ok_or("--csv needs a path")?);
+            }
+            "--no-parallel" => args.parallel = false,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel] [--csv FILE]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let infos: Vec<_> = match &args.circuits {
+        Some(names) => {
+            let mut selected = Vec::new();
+            for n in names {
+                match catalog::by_name(n) {
+                    Ok(info) => selected.push(info),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            selected
+        }
+        None => catalog::all().to_vec(),
+    };
+    let effort = if args.quick {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+
+    let start = Instant::now();
+    eprintln!(
+        "running {} circuits ({} effort, {})...",
+        infos.len(),
+        if args.quick { "quick" } else { "full" },
+        if args.parallel { "parallel" } else { "serial" },
+    );
+    let exps = if args.parallel {
+        run_circuits(&infos, effort)
+    } else {
+        infos.iter().map(|i| run_circuit(i, effort)).collect()
+    };
+    eprintln!("experiments done in {:.1?}", start.elapsed());
+
+    match args.table {
+        Some(n) => println!("{}", render_table(n, &exps)),
+        None => {
+            for n in 1..=5 {
+                println!("{}", render_table(n, &exps));
+            }
+        }
+    }
+    if let Some(path) = args.csv {
+        let csv = atspeed_bench::csv::to_csv(&exps);
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

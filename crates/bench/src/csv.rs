@@ -1,0 +1,81 @@
+//! CSV export of the measured experiments (for plotting or regression
+//! tracking outside this crate).
+
+use std::fmt::Write as _;
+
+use crate::runner::CircuitExperiment;
+
+/// Header row of [`to_csv`].
+pub const CSV_HEADER: &str = "circuit,ff,comb_tests,faults,untestable,\
+t0_len,t0_detected,tau_len,tau_detected,added,final_detected,\
+prop_init_cycles,prop_comp_cycles,\
+b4_init_cycles,b4_comp_cycles,dynamic_cycles,\
+rand_t0_detected,rand_tau_len,rand_added,rand_init_cycles,rand_comp_cycles";
+
+/// Renders every experiment as one CSV row (empty cells for the
+/// configurations a circuit did not run).
+pub fn to_csv(exps: &[CircuitExperiment]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{CSV_HEADER}");
+    for e in exps {
+        let p = &e.proposed;
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            e.info.name,
+            p.n_sv,
+            p.num_comb_tests,
+            p.total_faults,
+            p.untestable_faults,
+            p.t0_len,
+            p.t0_detected,
+            p.tau_seq_len,
+            p.tau_seq_detected,
+            p.added_tests,
+            p.final_detected,
+            p.init_cycles,
+            p.comp_cycles,
+            e.b4_init_cycles,
+            e.b4_comp_cycles,
+            e.dynamic.cycles,
+        );
+        match &e.proposed_rand {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    ",{},{},{},{},{}",
+                    r.t0_detected, r.tau_seq_len, r.added_tests, r.init_cycles, r.comp_cycles
+                );
+            }
+            None => {
+                let _ = writeln!(out, ",,,,,");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_circuit, Effort};
+    use atspeed_circuit::catalog;
+
+    #[test]
+    fn rows_align_with_header() {
+        let exps = vec![run_circuit(
+            &catalog::by_name("b02").unwrap(),
+            Effort::Quick,
+        )];
+        let csv = to_csv(&exps);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count(),
+            "column count mismatch:\n{header}\n{row}"
+        );
+        assert!(row.starts_with("b02,"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Benchmark harness for the atspeed workspace.
+//!
+//! Regenerates the five tables of Pomeranz & Reddy (DAC 2001) from the
+//! synthetic benchmark catalog:
+//!
+//! ```text
+//! cargo run -p atspeed-bench --release --bin tables            # all tables
+//! cargo run -p atspeed-bench --release --bin tables -- --table 3
+//! cargo run -p atspeed-bench --release --bin tables -- --circuits s298,b06 --quick
+//! ```
+//!
+//! The Criterion benches under `benches/` time the workload behind each
+//! table on small circuits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod paper;
+pub mod runner;
+pub mod tables;

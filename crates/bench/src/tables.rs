@@ -1,0 +1,235 @@
+//! Rendering of the paper's Tables 1–5 from measured experiments.
+//!
+//! Each `render_tableN` prints the same rows and columns the paper reports,
+//! with the measured values for the synthetic stand-ins; paper-reported
+//! values are shown alongside (in parentheses) so shape comparisons are
+//! immediate. Totals follow the paper's convention (computed without
+//! s35932).
+
+use std::fmt::Write as _;
+
+use crate::paper::paper_row;
+use crate::runner::CircuitExperiment;
+
+fn opt(v: Option<usize>) -> String {
+    v.map_or_else(|| "-".to_owned(), |x| x.to_string())
+}
+
+/// Table 1: detected faults (`T_0` / `τ_seq` / final), plus circuit data.
+pub fn render_table1(exps: &[CircuitExperiment]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 1: Detected faults ([10]-[12] stand-in T0)");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>5} {:>6} {:>7} | {:>7} {:>7} {:>7} | paper(T0/scan/final/flts)",
+        "circuit", "ff", "ctsts", "flts", "T0", "scan", "final"
+    );
+    for e in exps {
+        let p = &e.proposed;
+        let pr = paper_row(e.info.name);
+        let paper = pr.map_or_else(String::new, |r| {
+            format!("({}/{}/{}/{})", r.det_t0, r.det_scan, r.det_final, r.faults)
+        });
+        let _ = writeln!(
+            s,
+            "{:<8} {:>5} {:>6} {:>7} | {:>7} {:>7} {:>7} | {}",
+            e.info.name,
+            p.n_sv,
+            p.num_comb_tests,
+            p.total_faults,
+            p.t0_detected,
+            p.tau_seq_detected,
+            p.final_detected,
+            paper
+        );
+    }
+    s
+}
+
+/// Table 2: sequence lengths and Phase 3 additions.
+pub fn render_table2(exps: &[CircuitExperiment]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 2: Test lengths ([10]-[12] stand-in T0)");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>6} {:>6} {:>6} | paper(T0/scan/added)",
+        "circuit", "T0", "scan", "added"
+    );
+    for e in exps {
+        let p = &e.proposed;
+        let paper = paper_row(e.info.name).map_or_else(String::new, |r| {
+            format!("({}/{}/{})", r.len_t0, r.len_scan, r.added)
+        });
+        let _ = writeln!(
+            s,
+            "{:<8} {:>6} {:>6} {:>6} | {}",
+            e.info.name, p.t0_len, p.tau_seq_len, p.added_tests, paper
+        );
+    }
+    s
+}
+
+/// Table 3: clock cycles of every method.
+pub fn render_table3(exps: &[CircuitExperiment]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 3: Numbers of clock cycles");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "circuit", "[2,3]", "[4]init", "[4]comp", "prop.ini", "prop.cmp", "rand.ini", "rand.cmp"
+    );
+    let mut tot = [0usize; 6];
+    for e in exps {
+        let p = &e.proposed;
+        let r = e.proposed_rand.as_ref();
+        let _ = writeln!(
+            s,
+            "{:<8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+            e.info.name,
+            e.dynamic.cycles,
+            e.b4_init_cycles,
+            e.b4_comp_cycles,
+            p.init_cycles,
+            p.comp_cycles,
+            opt(r.map(|r| r.init_cycles)),
+            opt(r.map(|r| r.comp_cycles))
+        );
+        if e.info.name != "s35932" {
+            tot[0] += e.b4_init_cycles;
+            tot[1] += e.b4_comp_cycles;
+            tot[2] += p.init_cycles;
+            tot[3] += p.comp_cycles;
+            tot[4] += r.map_or(0, |r| r.init_cycles);
+            tot[5] += r.map_or(0, |r| r.comp_cycles);
+        }
+    }
+    let _ = writeln!(
+        s,
+        "{:<8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}   (totals w/o s35932)",
+        "total*", "-", tot[0], tot[1], tot[2], tot[3], tot[4], tot[5]
+    );
+    let _ = writeln!(
+        s,
+        "paper totals: [4] 39343/29219, proposed 29471/28493, rand 32219/30671"
+    );
+    s
+}
+
+/// Table 4: at-speed (primary-input sequence) length statistics.
+pub fn render_table4(exps: &[CircuitExperiment]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 4: At-speed test lengths (after compaction)");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>16} | {:>16} | {:>16} | paper([4]avg / prop.avg)",
+        "circuit", "[4]", "proposed", "rand"
+    );
+    let fmt_stats = |st: Option<atspeed_core::AtSpeedStats>| {
+        st.map_or_else(|| "-".to_owned(), |x| x.to_string())
+    };
+    for e in exps {
+        let paper = paper_row(e.info.name).map_or_else(String::new, |r| {
+            format!("({:.2} / {:.2})", r.as4_avg, r.asp_avg)
+        });
+        let _ = writeln!(
+            s,
+            "{:<8} {:>16} | {:>16} | {:>16} | {}",
+            e.info.name,
+            fmt_stats(e.b4_at_speed),
+            fmt_stats(e.proposed.at_speed_comp),
+            fmt_stats(e.proposed_rand.as_ref().and_then(|r| r.at_speed_comp)),
+            paper
+        );
+    }
+    s
+}
+
+/// Table 5: the random-`T_0` flow in detail.
+pub fn render_table5(exps: &[CircuitExperiment]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 5: Results for random sequences (T0 length 1000)");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>7} {:>7} {:>7} | {:>6} {:>6} {:>6} | paper(T0det/scandet/final/scanlen/added)",
+        "circuit", "T0", "scan", "final", "lenT0", "scan", "added"
+    );
+    for e in exps {
+        let Some(r) = e.proposed_rand.as_ref() else {
+            let _ = writeln!(
+                s,
+                "{:<8} (no random-T0 run; the paper omits it too)",
+                e.info.name
+            );
+            continue;
+        };
+        let paper = paper_row(e.info.name).map_or_else(String::new, |p| {
+            format!(
+                "({}/{}/{}/{}/{})",
+                opt(p.r_det_t0),
+                opt(p.r_det_scan),
+                opt(p.r_det_final),
+                opt(p.r_len_scan),
+                opt(p.r_added)
+            )
+        });
+        let _ = writeln!(
+            s,
+            "{:<8} {:>7} {:>7} {:>7} | {:>6} {:>6} {:>6} | {}",
+            e.info.name,
+            r.t0_detected,
+            r.tau_seq_detected,
+            r.final_detected,
+            r.t0_len,
+            r.tau_seq_len,
+            r.added_tests,
+            paper
+        );
+    }
+    s
+}
+
+/// Renders one table by number (1–5).
+///
+/// # Panics
+///
+/// Panics if `n` is not in `1..=5`.
+pub fn render_table(n: usize, exps: &[CircuitExperiment]) -> String {
+    match n {
+        1 => render_table1(exps),
+        2 => render_table2(exps),
+        3 => render_table3(exps),
+        4 => render_table4(exps),
+        5 => render_table5(exps),
+        other => panic!("no table {other}; the paper has Tables 1-5"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_circuit, Effort};
+    use atspeed_circuit::catalog;
+
+    fn sample() -> Vec<CircuitExperiment> {
+        vec![run_circuit(
+            &catalog::by_name("b02").unwrap(),
+            Effort::Quick,
+        )]
+    }
+
+    #[test]
+    fn all_tables_render_without_panicking() {
+        let exps = sample();
+        for n in 1..=5 {
+            let text = render_table(n, &exps);
+            assert!(text.contains("b02"), "table {n} missing circuit row");
+            assert!(text.contains("Table"), "table {n} missing header");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no table 6")]
+    fn unknown_table_panics() {
+        let _ = render_table(6, &[]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Catalog of the benchmark circuits used in the paper's evaluation.
+//!
+//! The paper evaluates eleven ISCAS-89 circuits and eight ITC-99 circuits.
+//! Their netlists are distribution-restricted, so this catalog describes
+//! each circuit's interface (exact flip-flop count — the `N_SV` that the
+//! paper's clock-cycle formula depends on — and the real primary-input/
+//! -output counts) and instantiates a deterministic synthetic stand-in with
+//! a comparable gate count via [`synth`](crate::synth). For the largest
+//! circuit (`s35932`) the synthetic gate count is scaled down to keep full
+//! table sweeps tractable; the flip-flop count is kept exact.
+//!
+//! Anyone holding the original `.bench` files can reproduce on the real
+//! netlists through [`bench_fmt::parse`](crate::bench_fmt::parse).
+
+use crate::synth::{generate, SynthSpec};
+use crate::{CircuitError, Netlist};
+
+/// The benchmark suite a circuit belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// ISCAS-89 sequential benchmarks.
+    Iscas89,
+    /// ITC-99 benchmarks.
+    Itc99,
+}
+
+/// Static description of one benchmark circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkInfo {
+    /// Benchmark name as used in the paper's tables.
+    pub name: &'static str,
+    /// The suite the benchmark belongs to.
+    pub suite: Suite,
+    /// Primary-input count of the real circuit.
+    pub num_pis: usize,
+    /// Primary-output count of the real circuit.
+    pub num_pos: usize,
+    /// Flip-flop count — matches the paper's Table 1 exactly.
+    pub num_ffs: usize,
+    /// Gate count of the synthetic stand-in (comparable to the real
+    /// circuit, scaled down for `s35932`).
+    pub num_gates: usize,
+}
+
+impl BenchmarkInfo {
+    /// Instantiates the deterministic synthetic stand-in for this benchmark.
+    pub fn instantiate(&self) -> Netlist {
+        let spec = SynthSpec::new(
+            self.name,
+            self.num_pis,
+            self.num_pos,
+            self.num_ffs,
+            self.num_gates,
+            // Stable per-benchmark seed derived from the name.
+            fnv(self.name.as_bytes()),
+        );
+        generate(&spec).expect("catalog specs are valid")
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The nineteen circuits of the paper's Tables 1–5, in table order.
+pub const PAPER_BENCHMARKS: [BenchmarkInfo; 19] = [
+    bm("s298", Suite::Iscas89, 3, 6, 14, 119),
+    bm("s344", Suite::Iscas89, 9, 11, 15, 160),
+    bm("s382", Suite::Iscas89, 3, 6, 21, 158),
+    bm("s400", Suite::Iscas89, 3, 6, 21, 162),
+    bm("s526", Suite::Iscas89, 3, 6, 21, 193),
+    bm("s641", Suite::Iscas89, 35, 24, 19, 379),
+    bm("s820", Suite::Iscas89, 18, 19, 5, 289),
+    bm("s1423", Suite::Iscas89, 17, 5, 74, 657),
+    bm("s1488", Suite::Iscas89, 8, 19, 6, 653),
+    bm("s5378", Suite::Iscas89, 35, 49, 179, 2779),
+    bm("s35932", Suite::Iscas89, 35, 320, 1728, 4000),
+    bm("b01", Suite::Itc99, 2, 2, 5, 45),
+    bm("b02", Suite::Itc99, 1, 1, 4, 25),
+    bm("b03", Suite::Itc99, 4, 4, 30, 150),
+    bm("b04", Suite::Itc99, 11, 8, 66, 650),
+    bm("b06", Suite::Itc99, 2, 6, 9, 55),
+    bm("b09", Suite::Itc99, 1, 1, 28, 160),
+    bm("b10", Suite::Itc99, 11, 6, 17, 180),
+    bm("b11", Suite::Itc99, 7, 6, 30, 550),
+];
+
+const fn bm(
+    name: &'static str,
+    suite: Suite,
+    num_pis: usize,
+    num_pos: usize,
+    num_ffs: usize,
+    num_gates: usize,
+) -> BenchmarkInfo {
+    BenchmarkInfo {
+        name,
+        suite,
+        num_pis,
+        num_pos,
+        num_ffs,
+        num_gates,
+    }
+}
+
+/// All paper benchmarks in table order.
+pub fn all() -> &'static [BenchmarkInfo] {
+    &PAPER_BENCHMARKS
+}
+
+/// Looks a benchmark up by name.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownBenchmark`] when `name` is not in the
+/// catalog.
+///
+/// # Examples
+///
+/// ```
+/// let info = atspeed_circuit::catalog::by_name("s298")?;
+/// assert_eq!(info.num_ffs, 14);
+/// # Ok::<(), atspeed_circuit::CircuitError>(())
+/// ```
+pub fn by_name(name: &str) -> Result<BenchmarkInfo, CircuitError> {
+    PAPER_BENCHMARKS
+        .iter()
+        .find(|b| b.name == name)
+        .copied()
+        .ok_or_else(|| CircuitError::UnknownBenchmark {
+            name: name.to_owned(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_nineteen_circuits_in_table_order() {
+        assert_eq!(all().len(), 19);
+        assert_eq!(all()[0].name, "s298");
+        assert_eq!(all()[18].name, "b11");
+    }
+
+    #[test]
+    fn ff_counts_match_paper_table1() {
+        // (name, ff) pairs straight from Table 1.
+        let expect = [
+            ("s298", 14),
+            ("s344", 15),
+            ("s382", 21),
+            ("s400", 21),
+            ("s526", 21),
+            ("s641", 19),
+            ("s820", 5),
+            ("s1423", 74),
+            ("s1488", 6),
+            ("s5378", 179),
+            ("s35932", 1728),
+            ("b01", 5),
+            ("b02", 4),
+            ("b03", 30),
+            ("b04", 66),
+            ("b06", 9),
+            ("b09", 28),
+            ("b10", 17),
+            ("b11", 30),
+        ];
+        for (name, ff) in expect {
+            assert_eq!(by_name(name).unwrap().num_ffs, ff, "{name}");
+        }
+    }
+
+    #[test]
+    fn instantiation_matches_interface() {
+        let info = by_name("s298").unwrap();
+        let nl = info.instantiate();
+        assert_eq!(nl.num_pis(), info.num_pis);
+        assert_eq!(nl.num_pos(), info.num_pos);
+        assert_eq!(nl.num_ffs(), info.num_ffs);
+        assert_eq!(nl.name(), "s298");
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let a = by_name("b06").unwrap().instantiate();
+        let b = by_name("b06").unwrap().instantiate();
+        assert_eq!(a.num_nets(), b.num_nets());
+        assert!(a.gates().iter().zip(b.gates().iter()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        assert!(matches!(
+            by_name("s9999"),
+            Err(CircuitError::UnknownBenchmark { .. })
+        ));
+    }
+
+    #[test]
+    fn suites_are_assigned() {
+        assert_eq!(by_name("s641").unwrap().suite, Suite::Iscas89);
+        assert_eq!(by_name("b04").unwrap().suite, Suite::Itc99);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A net is driven by more than one source.
+    MultipleDrivers {
+        /// Name of the multiply-driven net.
+        net: String,
+    },
+    /// A net is referenced as a gate/FF input or primary output but never
+    /// driven by a primary input, gate, or flip-flop.
+    Undriven {
+        /// Name of the undriven net.
+        net: String,
+    },
+    /// The combinational core (gates only, flip-flops cut) contains a cycle.
+    CombinationalCycle {
+        /// Name of one net on the cycle.
+        net: String,
+    },
+    /// A gate was declared with an input count its kind does not allow.
+    BadFanin {
+        /// Output net name of the offending gate.
+        net: String,
+        /// Declared number of inputs.
+        got: usize,
+    },
+    /// The netlist has no primary inputs.
+    NoInputs,
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// A catalog lookup used an unknown benchmark name.
+    UnknownBenchmark {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            CircuitError::Undriven { net } => write!(f, "net `{net}` is never driven"),
+            CircuitError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+            CircuitError::BadFanin { net, got } => {
+                write!(f, "gate driving `{net}` has invalid fanin {got}")
+            }
+            CircuitError::NoInputs => write!(f, "netlist has no primary inputs"),
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CircuitError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark circuit `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = CircuitError::MultipleDrivers { net: "x".into() };
+        assert_eq!(e.to_string(), "net `x` has multiple drivers");
+        let e = CircuitError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CircuitError>();
+    }
+}

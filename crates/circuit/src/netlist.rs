@@ -1,0 +1,612 @@
+//! The immutable netlist representation and its builder.
+
+use std::collections::HashMap;
+
+use crate::{CircuitError, FfId, GateId, GateKind, NetId, PoId};
+
+/// The unique driver of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Driver {
+    /// Driven externally as the `index`-th primary input.
+    Pi(usize),
+    /// Driven by the output of a gate.
+    Gate(GateId),
+    /// Driven by the Q output of a flip-flop.
+    Ff(FfId),
+}
+
+/// A consumer of a net's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sink {
+    /// Input pin `pin` of gate `0`.
+    GatePin(GateId, u8),
+    /// D input of a flip-flop.
+    FfD(FfId),
+    /// Primary output position.
+    Po(PoId),
+}
+
+/// A combinational gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    /// The gate's logic function.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Input nets in pin order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The net driven by this gate.
+    #[inline]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// A D flip-flop: captures the value on `d` at each clock and presents it
+/// on `q` in the next cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ff {
+    d: NetId,
+    q: NetId,
+}
+
+impl Ff {
+    /// The data-input net.
+    #[inline]
+    pub fn d(&self) -> NetId {
+        self.d
+    }
+
+    /// The state-output net.
+    #[inline]
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+}
+
+/// An immutable, validated synchronous sequential circuit.
+///
+/// A netlist consists of nets, gates, D flip-flops, primary inputs, and
+/// primary outputs. It is constructed through [`NetlistBuilder`], which
+/// validates single-driver and acyclicity invariants and precomputes the
+/// levelized gate order and per-net fanout tables that the simulation and
+/// test-generation crates rely on.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    net_names: Vec<String>,
+    drivers: Vec<Driver>,
+    gates: Vec<Gate>,
+    ffs: Vec<Ff>,
+    pis: Vec<NetId>,
+    pos: Vec<NetId>,
+    fanouts: Vec<Vec<Sink>>,
+    topo: Vec<GateId>,
+    levels: Vec<u32>,
+    max_level: u32,
+}
+
+impl Netlist {
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Number of gates.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops (scanned state variables, `N_SV` in the paper).
+    #[inline]
+    pub fn num_ffs(&self) -> usize {
+        self.ffs.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_pis(&self) -> usize {
+        self.pis.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_pos(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// The gate with the given id.
+    #[inline]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// All gates, indexable by [`GateId`].
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The flip-flop with the given id.
+    #[inline]
+    pub fn ff(&self, id: FfId) -> &Ff {
+        &self.ffs[id.index()]
+    }
+
+    /// All flip-flops, indexable by [`FfId`].
+    #[inline]
+    pub fn ffs(&self) -> &[Ff] {
+        &self.ffs
+    }
+
+    /// Primary-input nets in declaration order.
+    #[inline]
+    pub fn pis(&self) -> &[NetId] {
+        &self.pis
+    }
+
+    /// Primary-output nets in declaration order.
+    #[inline]
+    pub fn pos(&self) -> &[NetId] {
+        &self.pos
+    }
+
+    /// The unique driver of a net.
+    #[inline]
+    pub fn driver(&self, net: NetId) -> Driver {
+        self.drivers[net.index()]
+    }
+
+    /// The consumers of a net (gate pins, FF data inputs, primary outputs).
+    #[inline]
+    pub fn fanouts(&self, net: NetId) -> &[Sink] {
+        &self.fanouts[net.index()]
+    }
+
+    /// The source name of a net.
+    #[inline]
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// Looks a net up by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names
+            .iter()
+            .position(|n| n == name)
+            .map(NetId::from_index)
+    }
+
+    /// Gates in a topological order of the combinational core: every gate
+    /// appears after all gates driving its inputs. Flip-flop outputs and
+    /// primary inputs are sources.
+    #[inline]
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// The combinational level of a net: 0 for primary inputs and flip-flop
+    /// outputs, otherwise one more than the maximum level of the driving
+    /// gate's inputs.
+    #[inline]
+    pub fn level(&self, net: NetId) -> u32 {
+        self.levels[net.index()]
+    }
+
+    /// The maximum combinational level in the circuit (0 if gate-free).
+    #[inline]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.num_nets()).map(NetId::from_index)
+    }
+
+    /// Iterates over all gate ids in declaration order.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.num_gates()).map(GateId::from_index)
+    }
+
+    /// Iterates over all flip-flop ids.
+    pub fn ff_ids(&self) -> impl Iterator<Item = FfId> + '_ {
+        (0..self.num_ffs()).map(FfId::from_index)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PendingDriver {
+    None,
+    Pi(usize),
+    Gate(usize),
+    Ff(usize),
+}
+
+/// Incremental builder for [`Netlist`].
+///
+/// Statements may arrive in any order; names are resolved and the circuit is
+/// validated by [`NetlistBuilder::finish`].
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    net_ids: HashMap<String, usize>,
+    net_names: Vec<String>,
+    pending: Vec<PendingDriver>,
+    gates: Vec<(GateKind, Vec<usize>, usize)>,
+    ffs: Vec<(usize, usize)>,
+    pis: Vec<usize>,
+    pos: Vec<usize>,
+    duplicate: Option<String>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            net_ids: HashMap::new(),
+            net_names: Vec::new(),
+            pending: Vec::new(),
+            gates: Vec::new(),
+            ffs: Vec::new(),
+            pis: Vec::new(),
+            pos: Vec::new(),
+            duplicate: None,
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.net_ids.get(name) {
+            return id;
+        }
+        let id = self.net_names.len();
+        self.net_ids.insert(name.to_owned(), id);
+        self.net_names.push(name.to_owned());
+        self.pending.push(PendingDriver::None);
+        id
+    }
+
+    fn set_driver(&mut self, net: usize, driver: PendingDriver) {
+        if matches!(self.pending[net], PendingDriver::None) {
+            self.pending[net] = driver;
+        } else if self.duplicate.is_none() {
+            self.duplicate = Some(self.net_names[net].clone());
+        }
+    }
+
+    /// Declares a primary input net.
+    pub fn input(&mut self, name: &str) -> &mut Self {
+        let net = self.intern(name);
+        let idx = self.pis.len();
+        self.pis.push(net);
+        self.set_driver(net, PendingDriver::Pi(idx));
+        self
+    }
+
+    /// Declares a primary output net (the net must be driven elsewhere).
+    pub fn output(&mut self, name: &str) -> &mut Self {
+        let net = self.intern(name);
+        self.pos.push(net);
+        self
+    }
+
+    /// Declares a gate driving `output` from `inputs`.
+    pub fn gate(&mut self, kind: GateKind, output: &str, inputs: &[&str]) -> &mut Self {
+        let out = self.intern(output);
+        let ins: Vec<usize> = inputs.iter().map(|n| self.intern(n)).collect();
+        let idx = self.gates.len();
+        self.gates.push((kind, ins, out));
+        self.set_driver(out, PendingDriver::Gate(idx));
+        self
+    }
+
+    /// Declares a D flip-flop with state output `q` and data input `d`.
+    pub fn dff(&mut self, q: &str, d: &str) -> &mut Self {
+        let qn = self.intern(q);
+        let dn = self.intern(d);
+        let idx = self.ffs.len();
+        self.ffs.push((dn, qn));
+        self.set_driver(qn, PendingDriver::Ff(idx));
+        self
+    }
+
+    /// Resolves names, validates the circuit, and produces the [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a net has several drivers or none, a gate has an
+    /// illegal fanin, the circuit has no primary inputs, or the combinational
+    /// core is cyclic.
+    pub fn finish(self) -> Result<Netlist, CircuitError> {
+        if let Some(net) = self.duplicate {
+            return Err(CircuitError::MultipleDrivers { net });
+        }
+        if self.pis.is_empty() {
+            return Err(CircuitError::NoInputs);
+        }
+        let n = self.net_names.len();
+        let mut drivers = Vec::with_capacity(n);
+        for (i, pd) in self.pending.iter().enumerate() {
+            let d = match pd {
+                PendingDriver::None => {
+                    return Err(CircuitError::Undriven {
+                        net: self.net_names[i].clone(),
+                    })
+                }
+                PendingDriver::Pi(k) => Driver::Pi(*k),
+                PendingDriver::Gate(g) => Driver::Gate(GateId::from_index(*g)),
+                PendingDriver::Ff(f) => Driver::Ff(FfId::from_index(*f)),
+            };
+            drivers.push(d);
+        }
+
+        let gates: Vec<Gate> = self
+            .gates
+            .iter()
+            .map(|(kind, ins, out)| Gate {
+                kind: *kind,
+                inputs: ins.iter().map(|&i| NetId::from_index(i)).collect(),
+                output: NetId::from_index(*out),
+            })
+            .collect();
+        for g in &gates {
+            if !g.kind.accepts_fanin(g.inputs.len()) {
+                return Err(CircuitError::BadFanin {
+                    net: self.net_names[g.output.index()].clone(),
+                    got: g.inputs.len(),
+                });
+            }
+        }
+        let ffs: Vec<Ff> = self
+            .ffs
+            .iter()
+            .map(|&(d, q)| Ff {
+                d: NetId::from_index(d),
+                q: NetId::from_index(q),
+            })
+            .collect();
+
+        // Fanout tables.
+        let mut fanouts: Vec<Vec<Sink>> = vec![Vec::new(); n];
+        for (gi, g) in gates.iter().enumerate() {
+            for (pin, &input) in g.inputs.iter().enumerate() {
+                fanouts[input.index()].push(Sink::GatePin(
+                    GateId::from_index(gi),
+                    u8::try_from(pin).expect("gate fanin exceeds 255"),
+                ));
+            }
+        }
+        for (fi, ff) in ffs.iter().enumerate() {
+            fanouts[ff.d.index()].push(Sink::FfD(FfId::from_index(fi)));
+        }
+        for (pi, &po) in self.pos.iter().enumerate() {
+            fanouts[po].push(Sink::Po(PoId::from_index(pi)));
+        }
+
+        // Kahn's algorithm over gates; PIs and FF outputs are sources.
+        let mut indeg: Vec<usize> = gates
+            .iter()
+            .map(|g| {
+                g.inputs
+                    .iter()
+                    .filter(|i| matches!(drivers[i.index()], Driver::Gate(_)))
+                    .count()
+            })
+            .collect();
+        let mut queue: Vec<GateId> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| GateId::from_index(i))
+            .collect();
+        let mut topo = Vec::with_capacity(gates.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let gid = queue[head];
+            head += 1;
+            topo.push(gid);
+            for sink in &fanouts[gates[gid.index()].output.index()] {
+                if let Sink::GatePin(consumer, _) = sink {
+                    let ci = consumer.index();
+                    indeg[ci] -= 1;
+                    if indeg[ci] == 0 {
+                        queue.push(*consumer);
+                    }
+                }
+            }
+        }
+        if topo.len() != gates.len() {
+            let on_cycle = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies positive in-degree");
+            return Err(CircuitError::CombinationalCycle {
+                net: self.net_names[gates[on_cycle].output.index()].clone(),
+            });
+        }
+
+        // Net levels: sources at 0, gate outputs at 1 + max input level.
+        let mut levels = vec![0u32; n];
+        let mut max_level = 0;
+        for &gid in &topo {
+            let g = &gates[gid.index()];
+            let lvl = 1 + g
+                .inputs
+                .iter()
+                .map(|i| levels[i.index()])
+                .max()
+                .unwrap_or(0);
+            levels[g.output.index()] = lvl;
+            max_level = max_level.max(lvl);
+        }
+
+        Ok(Netlist {
+            name: self.name,
+            net_names: self.net_names,
+            drivers,
+            gates,
+            ffs,
+            pis: self.pis.into_iter().map(NetId::from_index).collect(),
+            pos: self.pos.into_iter().map(NetId::from_index).collect(),
+            fanouts,
+            topo,
+            levels,
+            max_level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Netlist {
+        let mut b = NetlistBuilder::new("toy");
+        b.input("a");
+        b.input("b");
+        b.dff("q", "d");
+        b.gate(GateKind::And, "d", &["a", "q"]);
+        b.gate(GateKind::Xor, "y", &["b", "q"]);
+        b.output("y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let nl = toy();
+        assert_eq!(nl.name(), "toy");
+        assert_eq!(nl.num_pis(), 2);
+        assert_eq!(nl.num_pos(), 1);
+        assert_eq!(nl.num_ffs(), 1);
+        assert_eq!(nl.num_gates(), 2);
+        assert_eq!(nl.num_nets(), 5); // a b q d y
+    }
+
+    #[test]
+    fn drivers_and_fanouts_are_consistent() {
+        let nl = toy();
+        let q = nl.find_net("q").unwrap();
+        assert!(matches!(nl.driver(q), Driver::Ff(_)));
+        // q feeds both gates.
+        assert_eq!(nl.fanouts(q).len(), 2);
+        let d = nl.find_net("d").unwrap();
+        assert!(matches!(nl.driver(d), Driver::Gate(_)));
+        assert!(matches!(nl.fanouts(d)[0], Sink::FfD(_)));
+        let y = nl.find_net("y").unwrap();
+        assert!(matches!(nl.fanouts(y)[0], Sink::Po(_)));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("chain");
+        b.input("a");
+        b.gate(GateKind::Not, "x", &["a"]);
+        b.gate(GateKind::Not, "y", &["x"]);
+        b.gate(GateKind::Not, "z", &["y"]);
+        b.output("z");
+        let nl = b.finish().unwrap();
+        let order = nl.topo_order();
+        let pos_of = |net: &str| {
+            let id = nl.find_net(net).unwrap();
+            order
+                .iter()
+                .position(|&g| nl.gate(g).output() == id)
+                .unwrap()
+        };
+        assert!(pos_of("x") < pos_of("y"));
+        assert!(pos_of("y") < pos_of("z"));
+        assert_eq!(nl.level(nl.find_net("z").unwrap()), 3);
+        assert_eq!(nl.max_level(), 3);
+    }
+
+    #[test]
+    fn ff_breaks_cycles() {
+        // d = NOT(q) with q = DFF(d) is fine: the loop crosses a flip-flop.
+        let mut b = NetlistBuilder::new("tff");
+        b.input("en");
+        b.dff("q", "d");
+        b.gate(GateKind::Xor, "d", &["q", "en"]);
+        b.output("q");
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn detects_combinational_cycle() {
+        let mut b = NetlistBuilder::new("cyc");
+        b.input("a");
+        b.gate(GateKind::And, "x", &["a", "y"]);
+        b.gate(GateKind::And, "y", &["a", "x"]);
+        b.output("y");
+        assert!(matches!(
+            b.finish(),
+            Err(CircuitError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_multiple_drivers() {
+        let mut b = NetlistBuilder::new("md");
+        b.input("a");
+        b.gate(GateKind::Not, "x", &["a"]);
+        b.gate(GateKind::Buf, "x", &["a"]);
+        b.output("x");
+        assert!(matches!(
+            b.finish(),
+            Err(CircuitError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_undriven_net() {
+        let mut b = NetlistBuilder::new("ud");
+        b.input("a");
+        b.gate(GateKind::And, "x", &["a", "ghost"]);
+        b.output("x");
+        assert!(matches!(b.finish(), Err(CircuitError::Undriven { .. })));
+    }
+
+    #[test]
+    fn detects_bad_fanin() {
+        let mut b = NetlistBuilder::new("bf");
+        b.input("a");
+        b.input("b");
+        b.gate(GateKind::Not, "x", &["a", "b"]);
+        b.output("x");
+        assert!(matches!(b.finish(), Err(CircuitError::BadFanin { .. })));
+    }
+
+    #[test]
+    fn rejects_input_free_circuit() {
+        let b = NetlistBuilder::new("empty");
+        assert!(matches!(b.finish(), Err(CircuitError::NoInputs)));
+    }
+
+    #[test]
+    fn find_net_resolves_names() {
+        let nl = toy();
+        assert!(nl.find_net("a").is_some());
+        assert!(nl.find_net("nope").is_none());
+        let a = nl.find_net("a").unwrap();
+        assert_eq!(nl.net_name(a), "a");
+    }
+}

@@ -1,0 +1,125 @@
+//! Structural circuit statistics.
+
+use std::fmt;
+
+use crate::{Driver, GateKind, Netlist};
+
+/// Summary statistics of a netlist's structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub num_pis: usize,
+    /// Number of primary outputs.
+    pub num_pos: usize,
+    /// Number of flip-flops.
+    pub num_ffs: usize,
+    /// Number of gates.
+    pub num_gates: usize,
+    /// Number of nets.
+    pub num_nets: usize,
+    /// Maximum combinational depth.
+    pub max_level: u32,
+    /// Largest gate fanin.
+    pub max_fanin: usize,
+    /// Largest net fanout.
+    pub max_fanout: usize,
+    /// Nets with fanout greater than one (fanout stems).
+    pub num_stems: usize,
+    /// Gate count per kind, indexed by [`GateKind::ALL`] order.
+    pub gates_by_kind: [usize; 8],
+}
+
+impl CircuitStats {
+    /// Computes statistics for `nl`.
+    pub fn of(nl: &Netlist) -> Self {
+        let mut gates_by_kind = [0usize; 8];
+        let mut max_fanin = 0;
+        for g in nl.gates() {
+            max_fanin = max_fanin.max(g.inputs().len());
+            let idx = GateKind::ALL
+                .iter()
+                .position(|&k| k == g.kind())
+                .expect("kind in ALL");
+            gates_by_kind[idx] += 1;
+        }
+        let mut max_fanout = 0;
+        let mut num_stems = 0;
+        for net in nl.net_ids() {
+            let f = nl.fanouts(net).len();
+            max_fanout = max_fanout.max(f);
+            if f > 1 {
+                num_stems += 1;
+            }
+        }
+        CircuitStats {
+            name: nl.name().to_owned(),
+            num_pis: nl.num_pis(),
+            num_pos: nl.num_pos(),
+            num_ffs: nl.num_ffs(),
+            num_gates: nl.num_gates(),
+            num_nets: nl.num_nets(),
+            max_level: nl.max_level(),
+            max_fanin,
+            max_fanout,
+            num_stems,
+            gates_by_kind,
+        }
+    }
+
+    /// Number of nets whose driver is a primary input.
+    pub fn source_nets(nl: &Netlist) -> usize {
+        nl.net_ids()
+            .filter(|&n| matches!(nl.driver(n), Driver::Pi(_)))
+            .count()
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} PIs, {} POs, {} FFs, {} gates, {} nets",
+            self.name, self.num_pis, self.num_pos, self.num_ffs, self.num_gates, self.num_nets
+        )?;
+        write!(
+            f,
+            "  depth {}, max fanin {}, max fanout {}, {} stems",
+            self.max_level, self.max_fanin, self.max_fanout, self.num_stems
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_fmt::s27;
+
+    #[test]
+    fn s27_stats() {
+        let st = CircuitStats::of(&s27());
+        assert_eq!(st.num_pis, 4);
+        assert_eq!(st.num_pos, 1);
+        assert_eq!(st.num_ffs, 3);
+        assert_eq!(st.num_gates, 10);
+        assert_eq!(st.max_fanin, 2);
+        assert!(st.max_fanout >= 2);
+        assert!(st.num_stems >= 2);
+        let total: usize = st.gates_by_kind.iter().sum();
+        assert_eq!(total, st.num_gates);
+    }
+
+    #[test]
+    fn display_mentions_name_and_counts() {
+        let st = CircuitStats::of(&s27());
+        let text = st.to_string();
+        assert!(text.contains("s27"));
+        assert!(text.contains("10 gates"));
+    }
+
+    #[test]
+    fn source_nets_counts_pis() {
+        assert_eq!(CircuitStats::source_nets(&s27()), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the netlist substrate.
+
+use atspeed_circuit::bench_fmt;
+use atspeed_circuit::synth::{generate, SynthSpec};
+use atspeed_circuit::{Driver, Sink};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SynthSpec> {
+    (1usize..8, 1usize..6, 0usize..12, 4usize..120, any::<u64>())
+        .prop_map(|(pis, pos, ffs, gates, seed)| SynthSpec::new("prop", pis, pos, ffs, gates, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated circuit parses back from its own `.bench` text with
+    /// identical structure.
+    #[test]
+    fn bench_round_trip(spec in arb_spec()) {
+        let nl = generate(&spec).unwrap();
+        let text = bench_fmt::write(&nl);
+        let back = bench_fmt::parse(nl.name(), &text).unwrap();
+        prop_assert_eq!(back.num_nets(), nl.num_nets());
+        prop_assert_eq!(back.num_gates(), nl.num_gates());
+        prop_assert_eq!(back.num_ffs(), nl.num_ffs());
+        prop_assert_eq!(back.num_pis(), nl.num_pis());
+        prop_assert_eq!(back.num_pos(), nl.num_pos());
+        for net in nl.net_ids() {
+            let other = back.find_net(nl.net_name(net)).expect("same names");
+            prop_assert_eq!(back.level(other), nl.level(net));
+        }
+    }
+
+    /// Topological order lists every gate exactly once, after its driven
+    /// inputs.
+    #[test]
+    fn topo_order_is_a_valid_schedule(spec in arb_spec()) {
+        let nl = generate(&spec).unwrap();
+        let order = nl.topo_order();
+        prop_assert_eq!(order.len(), nl.num_gates());
+        let mut seen = vec![false; nl.num_gates()];
+        for &gid in order {
+            for &input in nl.gate(gid).inputs() {
+                if let Driver::Gate(dep) = nl.driver(input) {
+                    prop_assert!(seen[dep.index()], "gate scheduled before driver");
+                }
+            }
+            prop_assert!(!seen[gid.index()], "gate scheduled twice");
+            seen[gid.index()] = true;
+        }
+    }
+
+    /// Levels strictly increase along gate edges, and fanout tables agree
+    /// with gate inputs.
+    #[test]
+    fn levels_and_fanouts_are_consistent(spec in arb_spec()) {
+        let nl = generate(&spec).unwrap();
+        for g in nl.gates() {
+            for (pin, &input) in g.inputs().iter().enumerate() {
+                prop_assert!(nl.level(input) < nl.level(g.output()));
+                // The input net's fanout table must list this pin.
+                let gid = match nl.driver(g.output()) {
+                    Driver::Gate(gid) => gid,
+                    other => { prop_assert!(false, "gate output driven by {other:?}"); unreachable!() }
+                };
+                let listed = nl
+                    .fanouts(input)
+                    .iter()
+                    .any(|s| matches!(s, Sink::GatePin(g2, p2) if *g2 == gid && *p2 == pin as u8));
+                prop_assert!(listed, "missing fanout entry");
+            }
+        }
+    }
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        let a = generate(&spec).unwrap();
+        let b = generate(&spec).unwrap();
+        prop_assert_eq!(a.num_nets(), b.num_nets());
+        prop_assert!(a.gates().iter().zip(b.gates().iter()).all(|(x, y)| x == y));
+    }
+}

@@ -1,0 +1,110 @@
+//! Delay-defect evaluation of scan test sets (extension).
+//!
+//! The paper argues — without measuring it — that its long at-speed
+//! primary-input sequences "contribute to the detection of delay defects".
+//! This module quantifies that claim under the transition-delay fault model
+//! of [`atspeed_sim::transition`]: it counts the transition faults a test
+//! set detects, which requires launch/capture cycle pairs that only
+//! multi-vector sequences provide.
+
+use atspeed_circuit::Netlist;
+use atspeed_sim::transition::{all_transition_faults, TransitionFaultSim};
+use atspeed_sim::{Sequence, State};
+
+use crate::test::TestSet;
+
+/// Transition-fault coverage of a test set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayCoverage {
+    /// Transition faults detected.
+    pub detected: usize,
+    /// Total transition faults (two per net).
+    pub total: usize,
+    /// Number of at-speed launch/capture cycle pairs the set applies
+    /// (`Σ max(L(T_j) − 1, 0)`).
+    pub at_speed_pairs: usize,
+}
+
+impl DelayCoverage {
+    /// Fractional coverage.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+/// Evaluates `set` under the transition-delay fault model.
+pub fn transition_coverage(nl: &Netlist, set: &TestSet) -> DelayCoverage {
+    let faults = all_transition_faults(nl);
+    let mut sim = TransitionFaultSim::new(nl);
+    let tests: Vec<(State, Sequence)> = set
+        .tests
+        .iter()
+        .map(|t| (t.si.clone(), t.seq.clone()))
+        .collect();
+    let detected = sim.count_detected_by_set(&tests, &faults);
+    let at_speed_pairs = set.tests.iter().map(|t| t.len().saturating_sub(1)).sum();
+    DelayCoverage {
+        detected,
+        total: faults.len(),
+        at_speed_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test::ScanTest;
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_sim::vectors::parse_values;
+
+    fn t(si: &str, rows: &[&str]) -> ScanTest {
+        ScanTest::new(
+            parse_values(si),
+            rows.iter().map(|r| parse_values(r)).collect(),
+        )
+    }
+
+    #[test]
+    fn single_vector_sets_have_zero_delay_coverage() {
+        let nl = s27();
+        let set = TestSet::from_tests(vec![
+            t("000", &["1010"]),
+            t("111", &["0101"]),
+            t("010", &["0011"]),
+        ]);
+        let cov = transition_coverage(&nl, &set);
+        assert_eq!(cov.detected, 0, "no at-speed pairs, no delay coverage");
+        assert_eq!(cov.at_speed_pairs, 0);
+    }
+
+    #[test]
+    fn long_sequences_buy_delay_coverage() {
+        let nl = s27();
+        let long = TestSet::from_tests(vec![t(
+            "000",
+            &[
+                "1010", "0101", "0011", "1100", "1111", "0000", "1001", "0110",
+            ],
+        )]);
+        let cov = transition_coverage(&nl, &long);
+        assert_eq!(cov.at_speed_pairs, 7);
+        assert!(cov.detected > 0);
+        assert!(cov.fraction() > 0.0 && cov.fraction() <= 1.0);
+    }
+
+    #[test]
+    fn more_pairs_never_hurt() {
+        let nl = s27();
+        let rows = ["1010", "0101", "0011", "1100", "1111", "0000"];
+        let short = TestSet::from_tests(vec![t("000", &rows[..2])]);
+        let long = TestSet::from_tests(vec![t("000", &rows)]);
+        let c_short = transition_coverage(&nl, &short);
+        let c_long = transition_coverage(&nl, &long);
+        assert!(c_long.detected >= c_short.detected);
+        assert!(c_long.at_speed_pairs > c_short.at_speed_pairs);
+    }
+}

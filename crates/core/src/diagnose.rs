@@ -1,0 +1,183 @@
+//! Pass/fail fault diagnosis (extension).
+//!
+//! Once a manufactured part fails the test set this library generates, the
+//! next question is *which defect explains the failure*. This module
+//! implements classic signature-matching diagnosis: every candidate fault's
+//! per-test pass/fail signature is computed by fault simulation (no
+//! dropping), and candidates are ranked by how well their signature matches
+//! the observed one. A single stuck-at defect always ranks its own
+//! equivalence class at the top with a perfect score.
+
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::SeqFaultSim;
+
+use crate::test::TestSet;
+
+/// One ranked diagnosis candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The candidate fault (an equivalence-class representative).
+    pub fault: FaultId,
+    /// Tests where prediction and observation agree.
+    pub matching: usize,
+    /// Tests the candidate predicts failing but the part passed
+    /// (mispredictions — heavily penalized in ranking).
+    pub false_fails: usize,
+    /// Tests the part failed but the candidate predicts passing.
+    pub missed_fails: usize,
+}
+
+impl Candidate {
+    /// Whether the candidate explains the observation exactly.
+    pub fn is_exact(&self) -> bool {
+        self.false_fails == 0 && self.missed_fails == 0
+    }
+}
+
+/// Computes each candidate fault's pass/fail signature over `set` (one bool
+/// per test: does the test detect the fault).
+pub fn signatures(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    set: &TestSet,
+    candidates: &[FaultId],
+) -> Vec<Vec<bool>> {
+    let mut fsim = SeqFaultSim::new(nl);
+    let mut rows: Vec<Vec<bool>> = vec![Vec::with_capacity(set.len()); candidates.len()];
+    for test in &set.tests {
+        let det = fsim.detect(&test.si, &test.seq, candidates, universe, true);
+        for (k, d) in det.into_iter().enumerate() {
+            rows[k].push(d);
+        }
+    }
+    rows
+}
+
+/// Ranks `candidates` against the observed per-test pass/fail vector
+/// (`true` = the part failed that test). Best candidates first: exact
+/// matches, then by fewest false fails, then fewest missed fails.
+///
+/// # Panics
+///
+/// Panics if `observed` is not one entry per test.
+pub fn diagnose(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    set: &TestSet,
+    candidates: &[FaultId],
+    observed: &[bool],
+) -> Vec<Candidate> {
+    assert_eq!(observed.len(), set.len(), "one observation per test");
+    let sigs = signatures(nl, universe, set, candidates);
+    let mut out: Vec<Candidate> = candidates
+        .iter()
+        .zip(sigs.iter())
+        .map(|(&fault, sig)| {
+            let mut matching = 0;
+            let mut false_fails = 0;
+            let mut missed_fails = 0;
+            for (&predicted, &seen) in sig.iter().zip(observed) {
+                match (predicted, seen) {
+                    (true, false) => false_fails += 1,
+                    (false, true) => missed_fails += 1,
+                    _ => matching += 1,
+                }
+            }
+            Candidate {
+                fault,
+                matching,
+                false_fails,
+                missed_fails,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (a.false_fails, a.missed_fails, std::cmp::Reverse(a.matching), a.fault).cmp(&(
+            b.false_fails,
+            b.missed_fails,
+            std::cmp::Reverse(b.matching),
+            b.fault,
+        ))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atspeed_atpg::comb_tset::{self, CombTsetConfig};
+    use atspeed_circuit::bench_fmt::s27;
+
+    fn setup() -> (atspeed_circuit::Netlist, FaultUniverse, TestSet) {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let c = comb_tset::generate(&nl, &u, &CombTsetConfig::default())
+            .unwrap()
+            .tests;
+        (nl, u, TestSet::from_comb_tests(&c))
+    }
+
+    #[test]
+    fn injected_fault_diagnoses_to_its_own_class() {
+        let (nl, u, set) = setup();
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let sigs = signatures(&nl, &u, &set, &reps);
+        // Pretend fault reps[5] is the real defect: its signature is the
+        // observation.
+        for probe in [0usize, 5, 11] {
+            let observed = &sigs[probe];
+            let ranked = diagnose(&nl, &u, &set, &reps, observed);
+            let top = &ranked[0];
+            assert!(top.is_exact(), "true fault must match exactly");
+            // The true fault is among the exact matches (others may be
+            // indistinguishable under this test set).
+            let exact: Vec<FaultId> = ranked
+                .iter()
+                .take_while(|c| c.is_exact())
+                .map(|c| c.fault)
+                .collect();
+            assert!(
+                exact.contains(&reps[probe]),
+                "true fault {probe} missing from exact matches"
+            );
+        }
+    }
+
+    #[test]
+    fn passing_part_matches_nothing_detected() {
+        let (nl, u, set) = setup();
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        // All tests pass: any fault the set detects has false fails.
+        let observed = vec![false; set.len()];
+        let ranked = diagnose(&nl, &u, &set, &reps, &observed);
+        // The set achieves complete coverage, so nothing matches exactly.
+        assert!(
+            ranked.iter().all(|c| !c.is_exact()),
+            "complete coverage means every fault fails some test"
+        );
+    }
+
+    #[test]
+    fn ranking_is_stable_and_complete() {
+        let (nl, u, set) = setup();
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let observed = vec![true; set.len()];
+        let ranked = diagnose(&nl, &u, &set, &reps, &observed);
+        assert_eq!(ranked.len(), reps.len());
+        // Sorted by (false_fails, missed_fails).
+        for w in ranked.windows(2) {
+            assert!(
+                (w[0].false_fails, w[0].missed_fails) <= (w[1].false_fails, w[1].missed_fails)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one observation per test")]
+    fn observation_width_is_checked() {
+        let (nl, u, set) = setup();
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let _ = diagnose(&nl, &u, &set, &reps, &[true]);
+    }
+}

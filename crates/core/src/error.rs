@@ -1,0 +1,59 @@
+//! Error type for the compaction pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use atspeed_atpg::AtpgError;
+
+/// Errors produced by the compaction pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Generation of the combinational test set `C` failed.
+    CombTestSet(AtpgError),
+    /// The initial test sequence `T_0` is empty.
+    EmptyT0,
+    /// The combinational test set `C` is empty, leaving Phase 1 with no
+    /// scan-in candidates.
+    NoScanInCandidates,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::CombTestSet(e) => write!(f, "combinational test set generation: {e}"),
+            CoreError::EmptyT0 => write!(f, "initial test sequence T0 is empty"),
+            CoreError::NoScanInCandidates => {
+                write!(f, "no scan-in candidates: combinational test set is empty")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::CombTestSet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AtpgError> for CoreError {
+    fn from(e: AtpgError) -> Self {
+        CoreError::CombTestSet(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(AtpgError::EmptyFaultList);
+        assert!(e.to_string().contains("fault list is empty"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CoreError::EmptyT0).is_none());
+    }
+}

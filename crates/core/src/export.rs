@@ -1,0 +1,161 @@
+//! Tester-program export of scan test sets.
+//!
+//! Serializes a [`TestSet`] into a self-describing, line-oriented text
+//! format in the spirit of STIL/WGL pattern files: every test spells out
+//! its scan-in vector, its at-speed primary-input vectors with the expected
+//! primary-output responses (from fault-free simulation), and the expected
+//! scan-out vector. The format is the hand-off artifact a downstream user
+//! would feed to a tester bridge.
+//!
+//! ```text
+//! # atspeed test program: s27
+//! # 3 scan cells, 4 inputs, 1 outputs, 2 tests
+//! test 0
+//!   scan_in  010
+//!   vector   1010 expect 1
+//!   vector   0110 expect 0
+//!   scan_out 011
+//! end
+//! ```
+
+use std::fmt::Write as _;
+
+use atspeed_circuit::Netlist;
+use atspeed_sim::{SeqSim, V3};
+
+use crate::test::TestSet;
+
+fn render_values(values: &[V3]) -> String {
+    values
+        .iter()
+        .map(|v| match v {
+            V3::Zero => '0',
+            V3::One => '1',
+            V3::X => 'x',
+        })
+        .collect()
+}
+
+/// Renders `set` as a tester program for `nl`.
+///
+/// Expected responses are fault-free simulated; unknown (X) expectations
+/// mean "don't compare" on the tester.
+pub fn write_test_program(nl: &Netlist, set: &TestSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# atspeed test program: {}", nl.name());
+    let _ = writeln!(
+        out,
+        "# {} scan cells, {} inputs, {} outputs, {} tests",
+        nl.num_ffs(),
+        nl.num_pis(),
+        nl.num_pos(),
+        set.len()
+    );
+    let _ = writeln!(
+        out,
+        "# total clock cycles: {}",
+        set.clock_cycles(nl.num_ffs())
+    );
+    let sim = SeqSim::new(nl);
+    for (k, test) in set.tests.iter().enumerate() {
+        let trace = sim.run(&test.si, &test.seq);
+        let _ = writeln!(out, "test {k}");
+        let _ = writeln!(out, "  scan_in  {}", render_values(&test.si));
+        for t in 0..test.seq.len() {
+            let _ = writeln!(
+                out,
+                "  vector   {} expect {}",
+                render_values(test.seq.vector(t)),
+                render_values(&trace.po_values[t])
+            );
+        }
+        let scan_out = trace
+            .states
+            .last()
+            .cloned()
+            .unwrap_or_else(|| test.si.clone());
+        let _ = writeln!(out, "  scan_out {}", render_values(&scan_out));
+        let _ = writeln!(out, "end");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test::ScanTest;
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_sim::vectors::parse_values;
+
+    fn set() -> TestSet {
+        TestSet::from_tests(vec![
+            ScanTest::new(
+                parse_values("010"),
+                ["1010", "0110"].iter().map(|r| parse_values(r)).collect(),
+            ),
+            ScanTest::new(
+                parse_values("111"),
+                std::iter::once(parse_values("0001")).collect(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn program_structure_is_complete() {
+        let nl = s27();
+        let set = set();
+        let text = write_test_program(&nl, &set);
+        let test_lines = text.lines().filter(|l| l.starts_with("test ")).count();
+        assert_eq!(test_lines, 2);
+        assert_eq!(text.matches("end").count(), 2);
+        assert_eq!(text.matches("scan_in").count(), 2);
+        assert_eq!(text.matches("scan_out").count(), 2);
+        assert_eq!(text.matches("vector").count(), 3, "one line per vector");
+        assert!(text.contains("# total clock cycles:"));
+    }
+
+    #[test]
+    fn expected_responses_match_simulation() {
+        let nl = s27();
+        let set = set();
+        let text = write_test_program(&nl, &set);
+        // Re-simulate the first test and cross-check the expect fields.
+        let trace = SeqSim::new(&nl).run(&set.tests[0].si, &set.tests[0].seq);
+        let first_vector_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("vector"))
+            .unwrap();
+        let expect = first_vector_line.split("expect").nth(1).unwrap().trim();
+        assert_eq!(expect, render_values(&trace.po_values[0]));
+        // Scan-out expectation equals the final captured state.
+        let so_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("scan_out"))
+            .unwrap();
+        assert_eq!(
+            so_line.trim_start().trim_start_matches("scan_out").trim(),
+            render_values(trace.states.last().unwrap())
+        );
+    }
+
+    #[test]
+    fn x_values_render_as_dont_compare() {
+        let nl = s27();
+        let set = TestSet::from_tests(vec![ScanTest::new(
+            parse_values("xxx"),
+            std::iter::once(parse_values("0000")).collect(),
+        )]);
+        let text = write_test_program(&nl, &set);
+        assert!(text.contains("scan_in  xxx"));
+        // With an unknown state, some outputs are unknown too.
+        assert!(text.contains('x'));
+    }
+
+    #[test]
+    fn empty_set_renders_header_only() {
+        let nl = s27();
+        let text = write_test_program(&nl, &TestSet::new());
+        assert!(text.contains("0 tests"));
+        assert!(!text.contains("test 0"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Iterative application of Phases 1 and 2 (the paper's Section 3.3).
+//!
+//! Starting from `T_0`, each iteration re-derives `F_0` (faults detected
+//! without scan by the current sequence), selects a scan-in state and
+//! scan-out time (Phase 1), and compacts the sequence by vector omission
+//! (Phase 2). The compacted sequence `T_C` becomes the next iteration's
+//! `T_0`. Candidates are marked *selected* as they are used; the loop
+//! terminates when the best candidate is one that was already selected
+//! (after completing that final iteration), so at most `K = |C|` iterations
+//! run.
+
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{CombTest, SeqFaultSim, Sequence, V3};
+
+use crate::phase1::{select_scan_test, Phase1Config};
+use crate::phase2::{compact_test, OmissionConfig};
+use crate::test::ScanTest;
+
+/// Configuration for [`build_tau_seq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterateConfig {
+    /// Phase 1 settings.
+    pub phase1: Phase1Config,
+    /// Phase 2 (vector omission) settings.
+    pub omission: OmissionConfig,
+    /// Optional cap on iterations (the natural bound is `|C|`).
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for IterateConfig {
+    /// Defaults tuned for benchmark-scale circuits: candidate ranking on a
+    /// fault sample, bounded omission effort, and at most 4 iterations
+    /// (gains beyond the second are marginal across the catalog; the
+    /// selected-state reuse rule usually fires first anyway).
+    /// Exhaustive settings remain available by overriding the fields.
+    fn default() -> Self {
+        IterateConfig {
+            phase1: Phase1Config {
+                max_candidates: None,
+                score_sample: Some(126),
+                scan_out_rule: Default::default(),
+            },
+            omission: OmissionConfig {
+                max_passes: 1,
+                chunked: true,
+                attempt_budget: 160,
+            },
+            max_iterations: Some(4),
+        }
+    }
+}
+
+/// The outcome of the iterated Phases 1–2: the single long test `τ_seq`.
+#[derive(Debug, Clone)]
+pub struct TauSeqResult {
+    /// The test `τ_seq = (SI_seq, T_seq)`.
+    pub test: ScanTest,
+    /// Faults detected by `τ_seq` — the paper's `F_seq` (Table 1 column
+    /// "scan").
+    pub detected: Vec<FaultId>,
+    /// Faults detected by the original `T_0` without scan (Table 1 column
+    /// "T0").
+    pub f0: Vec<FaultId>,
+    /// Iterations of Phases 1–2 performed.
+    pub iterations: usize,
+    /// Which candidates were marked selected (for reuse by the caller).
+    pub selected: Vec<bool>,
+}
+
+/// Runs Phases 1–2 iteratively and returns `τ_seq`.
+///
+/// `targets` is the full target fault set `F` (collapsed representatives).
+/// Returns `None` when `candidates` is empty or `t0` is empty.
+pub fn build_tau_seq(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    t0: &Sequence,
+    candidates: &[CombTest],
+    targets: &[FaultId],
+    cfg: IterateConfig,
+) -> Option<TauSeqResult> {
+    if t0.is_empty() || candidates.is_empty() {
+        return None;
+    }
+    let mut fsim = SeqFaultSim::new(nl);
+    let init_x = vec![V3::X; nl.num_ffs()];
+    let mut selected = vec![false; candidates.len()];
+    let mut current: Sequence = t0.clone();
+    let mut original_f0: Option<Vec<FaultId>> = None;
+    let mut best: Option<ScanTest> = None;
+    let mut iterations = 0usize;
+    let max_iter = cfg
+        .max_iterations
+        .unwrap_or(candidates.len())
+        .min(candidates.len());
+
+    let trace = std::env::var_os("ATSPEED_TRACE").is_some();
+    while iterations < max_iter {
+        iterations += 1;
+        let t_iter = std::time::Instant::now();
+        // Step 1: faults of `targets` detected by the current sequence
+        // without scan (unknown initial state, primary outputs only).
+        let det = fsim.detect(&init_x, &current, targets, universe, false);
+        let f0: Vec<FaultId> = targets
+            .iter()
+            .zip(det.iter())
+            .filter(|(_, &d)| d)
+            .map(|(&f, _)| f)
+            .collect();
+        let rest: Vec<FaultId> = targets
+            .iter()
+            .zip(det.iter())
+            .filter(|(_, &d)| !d)
+            .map(|(&f, _)| f)
+            .collect();
+        if original_f0.is_none() {
+            original_f0 = Some(f0.clone());
+        }
+
+        let t_step1 = t_iter.elapsed();
+
+        // Phase 1 (steps 2 and 3).
+        let t_p1 = std::time::Instant::now();
+        let p1 = select_scan_test(
+            nl, universe, &current, candidates, &f0, &rest, &selected, cfg.phase1,
+        )?;
+        let reused = p1.reused_selected;
+        selected[p1.si_index] = true;
+        let t_phase1 = t_p1.elapsed();
+
+        // Phase 2: vector omission preserving F_SO = F_SI.
+        let t_p2 = std::time::Instant::now();
+        let (compacted, om_stats) = compact_test(nl, universe, &p1.test, &p1.f_so, cfg.omission);
+        if trace {
+            eprintln!(
+                "[atspeed] iter {iterations}: step1 {t_step1:.2?}, phase1 {t_phase1:.2?} \
+                 (u_so {}), phase2 {:.2?} ({} attempts, {} removed, len {} -> {})",
+                p1.u_so,
+                t_p2.elapsed(),
+                om_stats.attempts,
+                om_stats.removed,
+                p1.test.len(),
+                compacted.len()
+            );
+        }
+        let progressed = best
+            .as_ref()
+            .is_none_or(|prev| compacted.len() < prev.len());
+        current = compacted.seq.clone();
+        best = Some(compacted);
+
+        // Stop on scan-in reuse (the paper's rule) or when an iteration
+        // neither shortened the sequence nor can shorten it further (no
+        // measurable progress — later iterations only re-confirm).
+        if reused || !progressed {
+            break;
+        }
+    }
+
+    let test = best?;
+    let det = test.detects(nl, universe, targets);
+    let detected: Vec<FaultId> = targets
+        .iter()
+        .zip(det.iter())
+        .filter(|(_, &d)| d)
+        .map(|(&f, _)| f)
+        .collect();
+    Some(TauSeqResult {
+        test,
+        detected,
+        f0: original_f0.unwrap_or_default(),
+        iterations,
+        selected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atspeed_atpg::comb_tset::{self, CombTsetConfig};
+    use atspeed_atpg::random_t0;
+    use atspeed_circuit::bench_fmt::s27;
+
+    fn setup() -> (
+        atspeed_circuit::Netlist,
+        FaultUniverse,
+        Sequence,
+        Vec<CombTest>,
+    ) {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let t0 = random_t0(&nl, 60, 21);
+        let c = comb_tset::generate(&nl, &u, &CombTsetConfig::default())
+            .unwrap()
+            .tests;
+        (nl, u, t0, c)
+    }
+
+    #[test]
+    fn tau_seq_detects_superset_of_each_iteration_f0() {
+        let (nl, u, t0, c) = setup();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let r = build_tau_seq(&nl, &u, &t0, &c, &targets, IterateConfig::default()).unwrap();
+        // τ_seq must detect at least what T_0 detected without scan:
+        // F_SI ⊇ F_0 and no fault is given up afterwards.
+        for f in &r.f0 {
+            assert!(
+                r.detected.contains(f),
+                "τ_seq lost fault {:?} detected by bare T0",
+                f
+            );
+        }
+        assert!(r.iterations >= 1);
+        assert!(r.test.len() <= t0.len(), "sequence only ever shrinks");
+    }
+
+    #[test]
+    fn terminates_within_candidate_count() {
+        let (nl, u, t0, c) = setup();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let r = build_tau_seq(&nl, &u, &t0, &c, &targets, IterateConfig::default()).unwrap();
+        assert!(r.iterations <= c.len());
+        assert!(r.selected.iter().filter(|&&s| s).count() <= r.iterations);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let (nl, u, t0, c) = setup();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let cfg = IterateConfig {
+            max_iterations: Some(1),
+            ..IterateConfig::default()
+        };
+        let r = build_tau_seq(&nl, &u, &t0, &c, &targets, cfg).unwrap();
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        let (nl, u, t0, c) = setup();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        assert!(build_tau_seq(
+            &nl,
+            &u,
+            &Sequence::new(),
+            &c,
+            &targets,
+            IterateConfig::default()
+        )
+        .is_none());
+        assert!(build_tau_seq(&nl, &u, &t0, &[], &targets, IterateConfig::default()).is_none());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (nl, u, t0, c) = setup();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let a = build_tau_seq(&nl, &u, &t0, &c, &targets, IterateConfig::default()).unwrap();
+        let b = build_tau_seq(&nl, &u, &t0, &c, &targets, IterateConfig::default()).unwrap();
+        assert_eq!(a.test, b.test);
+        assert_eq!(a.detected, b.detected);
+    }
+}

@@ -1,0 +1,61 @@
+//! Phase 2: vector omission on the scan-based test.
+//!
+//! Shortens `T_SO` by omitting vectors while preserving the detection of
+//! every fault in `F_SO` (the paper cites the static sequence compaction of
+//! \[8\]). The heavy lifting lives in [`atspeed_atpg::compact`]; this module
+//! adapts it to scan-test semantics (fixed scan-in state, primary outputs
+//! observed each cycle, scan-out observed after the last vector).
+
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+
+pub use atspeed_atpg::compact::{OmissionConfig, OmissionStats};
+
+use crate::test::ScanTest;
+
+/// Omits vectors from `test`'s sequence while keeping every fault in
+/// `targets` detected. Returns the compacted test `τ_C = (SI, T_C)`.
+pub fn compact_test(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    test: &ScanTest,
+    targets: &[FaultId],
+    cfg: OmissionConfig,
+) -> (ScanTest, OmissionStats) {
+    let (seq, stats) =
+        atspeed_atpg::compact::omit_vectors(nl, universe, &test.si, &test.seq, targets, true, cfg);
+    (ScanTest::new(test.si.clone(), seq), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_sim::vectors::parse_values;
+    use atspeed_sim::Sequence;
+
+    #[test]
+    fn compacted_test_keeps_targets_detected() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let rows = [
+            "1010", "1010", "0110", "0110", "0001", "1111", "1111", "0000",
+        ];
+        let seq: Sequence = rows.iter().map(|r| parse_values(r)).collect();
+        let test = ScanTest::new(parse_values("010"), seq);
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let det = test.detects(&nl, &u, &reps);
+        let targets: Vec<FaultId> = reps
+            .iter()
+            .zip(det.iter())
+            .filter(|(_, &d)| d)
+            .map(|(&f, _)| f)
+            .collect();
+        let (compact, stats) = compact_test(&nl, &u, &test, &targets, OmissionConfig::default());
+        assert!(compact.len() <= test.len());
+        assert_eq!(stats.removed, test.len() - compact.len());
+        assert_eq!(compact.si, test.si, "scan-in state untouched");
+        let after = compact.detects(&nl, &u, &targets);
+        assert!(after.iter().all(|&d| d));
+    }
+}

@@ -1,0 +1,158 @@
+//! Phase 3: achieving complete fault coverage with single-vector tests.
+//!
+//! For every fault `f` still undetected by `τ_seq`, the combinational test
+//! set `C` is fault-simulated (without dropping) to compute `n(f)` — how
+//! many of the single-vector scan tests `τ_j` derived from `C` detect `f` —
+//! and `last(f)` — the index of the last such test. Tests are then selected
+//! greedily: repeatedly take the fault with minimum `n(f)` (essential tests,
+//! `n(f) = 1`, are picked first by construction), add `τ_last(f)` to the
+//! test set, and drop every newly covered fault.
+
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{CombFaultSim, CombTest};
+
+use crate::test::ScanTest;
+
+/// Result of Phase 3.
+#[derive(Debug, Clone)]
+pub struct Phase3Result {
+    /// The added single-vector scan tests, in selection order.
+    pub added: Vec<ScanTest>,
+    /// Indices into `C` of the added tests.
+    pub added_indices: Vec<usize>,
+    /// Faults that no test in `C` detects (left uncovered).
+    pub still_undetected: Vec<FaultId>,
+}
+
+/// Selects single-vector tests from `candidates` covering `undetected`.
+pub fn top_up(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    candidates: &[CombTest],
+    undetected: &[FaultId],
+) -> Phase3Result {
+    if undetected.is_empty() || candidates.is_empty() {
+        return Phase3Result {
+            added: Vec::new(),
+            added_indices: Vec::new(),
+            still_undetected: undetected.to_vec(),
+        };
+    }
+    let mut sim = CombFaultSim::new(nl);
+    // Full detection matrix (no dropping): rows = faults, bit t = test t.
+    let matrix = sim.detect_matrix(candidates, undetected, universe);
+    let n_of = |row: &Vec<u64>| -> usize { row.iter().map(|w| w.count_ones() as usize).sum() };
+    let last_of = |row: &Vec<u64>| -> Option<usize> {
+        for (w, &word) in row.iter().enumerate().rev() {
+            if word != 0 {
+                return Some(w * 64 + (63 - word.leading_zeros() as usize));
+            }
+        }
+        None
+    };
+
+    let mut alive: Vec<usize> = (0..undetected.len()).collect();
+    let mut still_undetected = Vec::new();
+    let mut added_indices = Vec::new();
+
+    // Faults undetectable by C can never leave the worklist; peel them off.
+    alive.retain(|&k| {
+        if n_of(&matrix[k]) == 0 {
+            still_undetected.push(undetected[k]);
+            false
+        } else {
+            true
+        }
+    });
+
+    while !alive.is_empty() {
+        // Minimum n(f); ties resolved by fault order (first).
+        let &k_min = alive
+            .iter()
+            .min_by_key(|&&k| n_of(&matrix[k]))
+            .expect("alive non-empty");
+        let t = last_of(&matrix[k_min]).expect("n(f) > 0 implies a detecting test");
+        added_indices.push(t);
+        let word = t / 64;
+        let bit = 1u64 << (t % 64);
+        alive.retain(|&k| matrix[k][word] & bit == 0);
+    }
+
+    let added = added_indices
+        .iter()
+        .map(|&t| ScanTest::from_comb(&candidates[t]))
+        .collect();
+    Phase3Result {
+        added,
+        added_indices,
+        still_undetected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test::TestSet;
+    use atspeed_atpg::comb_tset::{self, CombTsetConfig};
+    use atspeed_circuit::bench_fmt::s27;
+
+    fn setup() -> (atspeed_circuit::Netlist, FaultUniverse, Vec<CombTest>) {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let c = comb_tset::generate(&nl, &u, &CombTsetConfig::default())
+            .unwrap()
+            .tests;
+        (nl, u, c)
+    }
+
+    #[test]
+    fn covers_every_coverable_fault() {
+        let (nl, u, c) = setup();
+        let undetected: Vec<FaultId> = u.representatives().to_vec();
+        let r = top_up(&nl, &u, &c, &undetected);
+        assert!(r.still_undetected.is_empty(), "C is complete for s27");
+        let set = TestSet::from_tests(r.added.clone());
+        let det = set.detects(&nl, &u, &undetected);
+        assert!(det.iter().all(|&d| d), "added tests must cover all targets");
+    }
+
+    #[test]
+    fn adds_no_tests_when_nothing_is_undetected() {
+        let (nl, u, c) = setup();
+        let r = top_up(&nl, &u, &c, &[]);
+        assert!(r.added.is_empty());
+        assert!(r.still_undetected.is_empty());
+    }
+
+    #[test]
+    fn selection_is_within_candidate_bounds_and_greedy() {
+        let (nl, u, c) = setup();
+        let undetected: Vec<FaultId> = u.representatives().to_vec();
+        let r = top_up(&nl, &u, &c, &undetected);
+        assert!(r.added_indices.iter().all(|&i| i < c.len()));
+        // Greedy never selects more tests than |C|.
+        assert!(r.added.len() <= c.len());
+        // A compact selection: fewer tests than faults covered.
+        assert!(r.added.len() <= undetected.len());
+    }
+
+    #[test]
+    fn uncoverable_faults_are_reported() {
+        let (nl, u, c) = setup();
+        // Use only one candidate: most faults become uncoverable.
+        let one = &c[..1];
+        let undetected: Vec<FaultId> = u.representatives().to_vec();
+        let r = top_up(&nl, &u, one, &undetected);
+        let covered = undetected.len() - r.still_undetected.len();
+        assert!(covered > 0);
+        assert!(r.added.len() <= 1);
+        // The reported leftovers are exactly the ones the single test
+        // cannot detect.
+        let set = TestSet::from_tests(r.added.clone());
+        for f in &r.still_undetected {
+            let det = set.detects(&nl, &u, &[*f]);
+            assert!(!det[0]);
+        }
+    }
+}

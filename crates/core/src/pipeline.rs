@@ -1,0 +1,369 @@
+//! End-to-end driver for the proposed compaction procedure.
+//!
+//! [`Pipeline`] wires the four phases together for one circuit: generate
+//! (or accept) the combinational test set `C`, generate (or accept) the
+//! test sequence `T_0`, run Phases 1–3 to obtain the *initial* proposed
+//! test set `{τ_seq, τ_1..τ_M}`, and optionally Phase 4 (static compaction
+//! by combining) for the final set. The result carries every quantity the
+//! paper's Tables 1–5 report for the proposed method.
+
+use atspeed_atpg::comb_tset::{self, CombTsetConfig};
+use atspeed_atpg::{directed_t0, property_t0, random_t0, DirectedConfig, PropertyConfig};
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{CombTest, Sequence};
+
+use crate::error::CoreError;
+use crate::iterate::{build_tau_seq, IterateConfig};
+use crate::phase3::top_up;
+use crate::phase4::combine_tests;
+use crate::test::{AtSpeedStats, ScanTest, TestSet};
+
+/// Where the initial test sequence `T_0` comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum T0Source {
+    /// STRATEGATE-style directed generation (ISCAS-89 rows of Tables 1–4).
+    Directed {
+        /// Length cap for the generated sequence.
+        max_len: usize,
+    },
+    /// PROPTEST-style burst generation (ITC-99 rows of Tables 1–4).
+    Property {
+        /// Length cap for the generated sequence.
+        max_len: usize,
+    },
+    /// Uniform random sequence (Table 5 uses length 1000).
+    Random {
+        /// Exact length of the random sequence.
+        len: usize,
+    },
+}
+
+/// Builder for one pipeline run over a circuit.
+#[derive(Debug, Clone)]
+pub struct Pipeline<'a> {
+    nl: &'a Netlist,
+    t0_source: T0Source,
+    seed: u64,
+    comb_cfg: CombTsetConfig,
+    iterate_cfg: IterateConfig,
+    run_phase4: bool,
+    provided_t0: Option<Sequence>,
+    provided_c: Option<Vec<CombTest>>,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Creates a pipeline for `nl` with default settings (directed `T_0`
+    /// capped at 1024 vectors, Phase 4 enabled).
+    pub fn new(nl: &'a Netlist) -> Self {
+        Pipeline {
+            nl,
+            t0_source: T0Source::Directed { max_len: 1024 },
+            seed: 1,
+            comb_cfg: CombTsetConfig::default(),
+            iterate_cfg: IterateConfig::default(),
+            run_phase4: true,
+            provided_t0: None,
+            provided_c: None,
+        }
+    }
+
+    /// Sets the `T_0` source.
+    pub fn t0_source(mut self, source: T0Source) -> Self {
+        self.t0_source = source;
+        self
+    }
+
+    /// Sets the master seed (combinational set and `T_0` generation derive
+    /// from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the combinational-test-set configuration.
+    pub fn comb_config(mut self, cfg: CombTsetConfig) -> Self {
+        self.comb_cfg = cfg;
+        self
+    }
+
+    /// Overrides the Phases 1–2 iteration configuration.
+    pub fn iterate_config(mut self, cfg: IterateConfig) -> Self {
+        self.iterate_cfg = cfg;
+        self
+    }
+
+    /// Enables or disables Phase 4 (static compaction of the result).
+    pub fn phase4(mut self, enabled: bool) -> Self {
+        self.run_phase4 = enabled;
+        self
+    }
+
+    /// Supplies an external `T_0` instead of generating one.
+    pub fn with_t0(mut self, t0: Sequence) -> Self {
+        self.provided_t0 = Some(t0);
+        self
+    }
+
+    /// Supplies an external combinational test set `C` instead of
+    /// generating one.
+    pub fn with_comb_tests(mut self, c: Vec<CombTest>) -> Self {
+        self.provided_c = Some(c);
+        self
+    }
+
+    /// Runs the full procedure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `C` would be empty, `T_0` is empty, or the
+    /// fault universe is empty.
+    pub fn run(self) -> Result<PipelineResult, CoreError> {
+        let nl = self.nl;
+        let universe = FaultUniverse::full(nl);
+        let targets: Vec<FaultId> = universe.representatives().to_vec();
+
+        // Combinational test set C.
+        let (comb_tests, untestable) = match self.provided_c {
+            Some(c) => (c, Vec::new()),
+            None => {
+                let mut cfg = self.comb_cfg.clone();
+                cfg.seed = cfg.seed.wrapping_add(self.seed.wrapping_mul(0x9e37_79b9));
+                let set = comb_tset::generate(nl, &universe, &cfg)?;
+                (set.tests, set.untestable)
+            }
+        };
+        if comb_tests.is_empty() {
+            return Err(CoreError::NoScanInCandidates);
+        }
+
+        // T_0.
+        let t0 = match self.provided_t0 {
+            Some(t0) => t0,
+            None => match self.t0_source {
+                T0Source::Directed { max_len } => directed_t0(
+                    nl,
+                    &universe,
+                    &targets,
+                    &DirectedConfig {
+                        max_len,
+                        seed: self.seed.wrapping_add(11),
+                        ..DirectedConfig::default()
+                    },
+                ),
+                T0Source::Property { max_len } => property_t0(
+                    nl,
+                    &universe,
+                    &targets,
+                    &PropertyConfig {
+                        max_len,
+                        seed: self.seed.wrapping_add(13),
+                        ..PropertyConfig::default()
+                    },
+                ),
+                T0Source::Random { len } => random_t0(nl, len, self.seed.wrapping_add(17)),
+            },
+        };
+        if t0.is_empty() {
+            return Err(CoreError::EmptyT0);
+        }
+        let t0_len = t0.len();
+
+        // Phases 1–2, iterated.
+        let tau = build_tau_seq(nl, &universe, &t0, &comb_tests, &targets, self.iterate_cfg)
+            .ok_or(CoreError::NoScanInCandidates)?;
+
+        // Phase 3: top up to complete coverage.
+        let undetected: Vec<FaultId> = targets
+            .iter()
+            .filter(|f| !tau.detected.contains(f))
+            .copied()
+            .collect();
+        let p3 = top_up(nl, &universe, &comb_tests, &undetected);
+
+        let mut tests: Vec<ScanTest> = Vec::with_capacity(1 + p3.added.len());
+        tests.push(tau.test.clone());
+        tests.extend(p3.added.iter().cloned());
+        let initial_set = TestSet::from_tests(tests);
+        let final_detected_faults: usize = targets.len() - p3.still_undetected.len();
+
+        // Phase 4: static compaction of the proposed set.
+        let detected_by_set: Vec<FaultId> = targets
+            .iter()
+            .filter(|f| !p3.still_undetected.contains(f))
+            .copied()
+            .collect();
+        let (compacted_set, _) = if self.run_phase4 {
+            combine_tests(nl, &universe, &initial_set, &detected_by_set)
+        } else {
+            (initial_set.clone(), Default::default())
+        };
+
+        let n_sv = nl.num_ffs();
+        Ok(PipelineResult {
+            circuit: nl.name().to_owned(),
+            n_sv,
+            num_comb_tests: comb_tests.len(),
+            total_faults: universe.num_collapsed(),
+            untestable_faults: untestable.len(),
+            t0_len,
+            t0_detected: tau.f0.len(),
+            tau_seq_len: tau.test.len(),
+            tau_seq_detected: tau.detected.len(),
+            iterations: tau.iterations,
+            added_tests: p3.added.len(),
+            final_detected: final_detected_faults,
+            init_cycles: initial_set.clock_cycles(n_sv),
+            comp_cycles: compacted_set.clock_cycles(n_sv),
+            at_speed_init: initial_set.at_speed_stats(),
+            at_speed_comp: compacted_set.at_speed_stats(),
+            initial_set,
+            compacted_set,
+            comb_tests,
+        })
+    }
+}
+
+/// Everything the paper's tables report about one proposed-procedure run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of scanned state variables `N_SV`.
+    pub n_sv: usize,
+    /// `|C|` (Table 1 column "comb tsts").
+    pub num_comb_tests: usize,
+    /// Collapsed fault count (Table 1 column "flts").
+    pub total_faults: usize,
+    /// Faults proven combinationally untestable while generating `C`.
+    pub untestable_faults: usize,
+    /// `L(T_0)` (Table 2).
+    pub t0_len: usize,
+    /// Faults detected by `T_0` without scan (Table 1 column "T0").
+    pub t0_detected: usize,
+    /// `L(T_seq)` (Table 2 column "scan").
+    pub tau_seq_len: usize,
+    /// Faults detected by `τ_seq` (Table 1 column "scan").
+    pub tau_seq_detected: usize,
+    /// Iterations of Phases 1–2.
+    pub iterations: usize,
+    /// Tests added in Phase 3 (Table 2 column "added c.tst").
+    pub added_tests: usize,
+    /// Faults detected by the final test set (Table 1 column "final").
+    pub final_detected: usize,
+    /// Clock cycles of the proposed set before Phase 4 (Table 3 "init").
+    pub init_cycles: usize,
+    /// Clock cycles after Phase 4 (Table 3 "comp").
+    pub comp_cycles: usize,
+    /// Sequence-length statistics before Phase 4.
+    pub at_speed_init: Option<AtSpeedStats>,
+    /// Sequence-length statistics after Phase 4 (Table 4).
+    pub at_speed_comp: Option<AtSpeedStats>,
+    /// The proposed test set at the end of Phase 3.
+    pub initial_set: TestSet,
+    /// The test set after Phase 4.
+    pub compacted_set: TestSet,
+    /// The combinational test set `C` used (kept for baseline runs).
+    pub comb_tests: Vec<CombTest>,
+}
+
+impl PipelineResult {
+    /// Fault coverage of the final set over all collapsed faults.
+    pub fn coverage(&self) -> f64 {
+        self.final_detected as f64 / self.total_faults as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_circuit::synth::{generate, SynthSpec};
+
+    #[test]
+    fn s27_full_run_reaches_complete_coverage() {
+        let nl = s27();
+        let r = Pipeline::new(&nl)
+            .t0_source(T0Source::Directed { max_len: 64 })
+            .seed(7)
+            .run()
+            .unwrap();
+        assert_eq!(r.total_faults, 32);
+        assert_eq!(r.final_detected, 32, "s27 is fully testable");
+        assert!(r.tau_seq_detected >= r.t0_detected);
+        assert!(r.tau_seq_len <= r.t0_len);
+        assert!(r.comp_cycles <= r.init_cycles);
+        assert_eq!(
+            r.init_cycles,
+            (r.initial_set.len() + 1) * 3 + r.initial_set.total_vectors()
+        );
+    }
+
+    #[test]
+    fn random_t0_source_matches_table5_shape() {
+        let nl = s27();
+        let r = Pipeline::new(&nl)
+            .t0_source(T0Source::Random { len: 100 })
+            .seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(r.t0_len, 100);
+        assert!(r.tau_seq_len <= 100);
+        assert!(r.final_detected >= r.tau_seq_detected);
+    }
+
+    #[test]
+    fn provided_inputs_are_respected() {
+        use atspeed_atpg::random_t0 as rt0;
+        let nl = s27();
+        let t0 = rt0(&nl, 32, 9);
+        let r = Pipeline::new(&nl)
+            .with_t0(t0.clone())
+            .seed(5)
+            .run()
+            .unwrap();
+        assert_eq!(r.t0_len, 32);
+    }
+
+    #[test]
+    fn phase4_toggle_changes_only_the_compacted_set() {
+        let nl = s27();
+        let with = Pipeline::new(&nl)
+            .t0_source(T0Source::Random { len: 60 })
+            .run()
+            .unwrap();
+        let without = Pipeline::new(&nl)
+            .t0_source(T0Source::Random { len: 60 })
+            .phase4(false)
+            .run()
+            .unwrap();
+        assert_eq!(with.init_cycles, without.init_cycles);
+        assert_eq!(without.init_cycles, without.comp_cycles);
+        assert!(with.comp_cycles <= with.init_cycles);
+    }
+
+    #[test]
+    fn runs_on_synthetic_benchmark() {
+        let nl = generate(&SynthSpec::new("pipe", 4, 3, 8, 100, 5)).unwrap();
+        let r = Pipeline::new(&nl)
+            .t0_source(T0Source::Property { max_len: 128 })
+            .run()
+            .unwrap();
+        // The headline claims of the paper, as invariants:
+        // τ_seq detects at least what T0 did, and the final set detects
+        // every fault C can cover.
+        assert!(r.tau_seq_detected >= r.t0_detected);
+        assert!(r.final_detected >= r.tau_seq_detected);
+        assert!(r.coverage() > 0.5);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let nl = s27();
+        let a = Pipeline::new(&nl).seed(42).run().unwrap();
+        let b = Pipeline::new(&nl).seed(42).run().unwrap();
+        assert_eq!(a.init_cycles, b.init_cycles);
+        assert_eq!(a.comp_cycles, b.comp_cycles);
+        assert_eq!(a.initial_set, b.initial_set);
+    }
+}

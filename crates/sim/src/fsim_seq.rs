@@ -1,0 +1,589 @@
+//! Sequential (cycle-accurate) simulation and parallel-fault fault
+//! simulation.
+//!
+//! The fault simulator packs the good machine into slot 0 of every word and
+//! up to 63 faulty machines into the remaining slots (the classic
+//! parallel-fault organization). Detection is recorded when a primary
+//! output is binary in both machines and differs; scanning out additionally
+//! observes the flip-flop state, and [`SeqFaultSim::profiles`] records the
+//! full per-cycle state-difference sets that Phase 1 of the paper uses to
+//! choose the scan-out time unit.
+
+use atspeed_circuit::{FfId, Netlist, PoId};
+
+use crate::comb::{CombSim, Overrides};
+use crate::fault::{FaultId, FaultUniverse};
+use crate::logic::{V3, W3};
+use crate::vectors::{Sequence, State};
+
+/// Fault-free trace of a sequence: per-cycle primary-output values and the
+/// captured flip-flop state after each cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoodTrace {
+    /// `po_values[t][k]` is primary output `k` during cycle `t`.
+    pub po_values: Vec<Vec<V3>>,
+    /// `states[t]` is the flip-flop state captured at the end of cycle `t`
+    /// (what a scan-out performed after cycle `t` would shift out).
+    pub states: Vec<State>,
+}
+
+/// Fault-free sequential simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqSim<'a> {
+    nl: &'a Netlist,
+}
+
+impl<'a> SeqSim<'a> {
+    /// Creates a simulator for `nl`.
+    pub fn new(nl: &'a Netlist) -> Self {
+        SeqSim { nl }
+    }
+
+    /// Simulates `seq` from the initial state `init` (use all-X for a
+    /// circuit that has not been scan-loaded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` or the sequence width do not match the netlist.
+    pub fn run(&self, init: &State, seq: &Sequence) -> GoodTrace {
+        assert_eq!(init.len(), self.nl.num_ffs(), "state width mismatch");
+        let sim = CombSim::new(self.nl);
+        let mut vals = vec![W3::ALL_X; self.nl.num_nets()];
+        let mut state: Vec<W3> = init.iter().map(|&v| W3::broadcast(v)).collect();
+        let mut po_values = Vec::with_capacity(seq.len());
+        let mut states = Vec::with_capacity(seq.len());
+        for t in 0..seq.len() {
+            let vec = seq.vector(t);
+            assert_eq!(vec.len(), self.nl.num_pis(), "input width mismatch");
+            for (i, &pi) in self.nl.pis().iter().enumerate() {
+                vals[pi.index()] = W3::broadcast(vec[i]);
+            }
+            for (f, ff) in self.nl.ffs().iter().enumerate() {
+                vals[ff.q().index()] = state[f];
+            }
+            sim.eval(&mut vals);
+            po_values.push(
+                self.nl
+                    .pos()
+                    .iter()
+                    .map(|&po| vals[po.index()].get(0))
+                    .collect(),
+            );
+            for (f, ff) in self.nl.ffs().iter().enumerate() {
+                state[f] = vals[ff.d().index()];
+            }
+            states.push(state.iter().map(|w| w.get(0)).collect());
+        }
+        GoodTrace { po_values, states }
+    }
+}
+
+/// Per-fault detection profile over a sequence, produced by
+/// [`SeqFaultSim::profiles`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DetectionProfile {
+    /// Earliest cycle at which a primary output detects the fault, if any.
+    pub po_detect: Option<u32>,
+    /// Bit `t` set ⇒ the faulty flip-flop state differs observably from the
+    /// good state at the end of cycle `t` (a scan-out after cycle `t`
+    /// detects the fault).
+    pub state_diff: Vec<u64>,
+}
+
+impl DetectionProfile {
+    fn set_state_diff(&mut self, t: usize) {
+        let word = t / 64;
+        if self.state_diff.len() <= word {
+            self.state_diff.resize(word + 1, 0);
+        }
+        self.state_diff[word] |= 1 << (t % 64);
+    }
+
+    /// Whether a scan-out at the end of cycle `t` observes a state
+    /// difference.
+    pub fn state_diff_at(&self, t: usize) -> bool {
+        self.state_diff
+            .get(t / 64)
+            .is_some_and(|w| w & (1 << (t % 64)) != 0)
+    }
+
+    /// Whether the prefix test `(SI, T[0, i])` followed by a scan-out
+    /// detects the fault (the predicate of the paper's Step 3).
+    pub fn detected_by_prefix(&self, i: usize) -> bool {
+        self.po_detect.is_some_and(|d| (d as usize) <= i) || self.state_diff_at(i)
+    }
+
+    /// The earliest cycle whose prefix test detects the fault: the minimum
+    /// of the primary-output detection time and the first state-difference
+    /// cycle. `None` when the sequence never detects the fault.
+    pub fn earliest_detection(&self) -> Option<u32> {
+        let first_sd = self
+            .state_diff
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| (i * 64) as u32 + w.trailing_zeros());
+        match (self.po_detect, first_sd) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// What is observed at the end of a test, in addition to the primary
+/// outputs watched every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalObserve<'m> {
+    /// Nothing — no scan-out (e.g. a scan-less sequence `T_0`).
+    None,
+    /// The whole flip-flop state (full scan-out).
+    FullState,
+    /// Only the flip-flops marked `true` (partial scan-out).
+    PartialState(&'m [bool]),
+}
+
+/// Parallel-fault sequential fault simulator with reusable scratch buffers.
+#[derive(Debug)]
+pub struct SeqFaultSim<'a> {
+    nl: &'a Netlist,
+    vals: Vec<W3>,
+    ov: Overrides,
+}
+
+/// How many faulty machines ride along with the good machine per pass.
+pub const FAULTS_PER_PASS: usize = 63;
+
+impl<'a> SeqFaultSim<'a> {
+    /// Creates a fault simulator for `nl`.
+    pub fn new(nl: &'a Netlist) -> Self {
+        SeqFaultSim {
+            nl,
+            vals: vec![W3::ALL_X; nl.num_nets()],
+            ov: Overrides::new(nl),
+        }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
+    }
+
+    /// Fault-simulates `seq` from `init` under `faults` and returns which
+    /// were detected. Primary outputs are observed every cycle; when
+    /// `observe_final_state` is set the flip-flop state after the last
+    /// cycle is also observed (modeling a scan-out).
+    ///
+    /// Detection requires the good and faulty values to be binary and
+    /// opposite — X differences never count.
+    pub fn detect(
+        &mut self,
+        init: &State,
+        seq: &Sequence,
+        faults: &[FaultId],
+        universe: &FaultUniverse,
+        observe_final_state: bool,
+    ) -> Vec<bool> {
+        let observe = if observe_final_state {
+            FinalObserve::FullState
+        } else {
+            FinalObserve::None
+        };
+        self.detect_observed(init, seq, faults, universe, observe)
+    }
+
+    /// Like [`SeqFaultSim::detect`], with explicit control over the final
+    /// observation — [`FinalObserve::PartialState`] models a partial scan
+    /// chain that shifts out only a subset of the flip-flops.
+    pub fn detect_observed(
+        &mut self,
+        init: &State,
+        seq: &Sequence,
+        faults: &[FaultId],
+        universe: &FaultUniverse,
+        observe: FinalObserve<'_>,
+    ) -> Vec<bool> {
+        let mut detected = vec![false; faults.len()];
+        for (chunk_idx, chunk) in faults.chunks(FAULTS_PER_PASS).enumerate() {
+            let base = chunk_idx * FAULTS_PER_PASS;
+            let active: u64 = if chunk.len() == FAULTS_PER_PASS {
+                !1u64
+            } else {
+                ((1u64 << chunk.len()) - 1) << 1
+            };
+            self.ov.clear();
+            for (k, &fid) in chunk.iter().enumerate() {
+                self.ov.add(universe.fault(fid), 1u64 << (k + 1));
+            }
+            let mut caught = 0u64;
+            let mut state: Vec<W3> = init.iter().map(|&v| W3::broadcast(v)).collect();
+            let sim = CombSim::new(self.nl);
+            for t in 0..seq.len() {
+                self.seed_inputs(seq, t, &state);
+                sim.eval_with(&mut self.vals, &self.ov);
+                caught |= self.po_diff_mask() & active;
+                self.capture(&mut state);
+                if t + 1 == seq.len() {
+                    match observe {
+                        FinalObserve::None => {}
+                        FinalObserve::FullState => {
+                            caught |= state_diff_mask(&state) & active;
+                        }
+                        FinalObserve::PartialState(mask) => {
+                            caught |= masked_state_diff(&state, mask) & active;
+                        }
+                    }
+                }
+                if caught == active {
+                    break;
+                }
+            }
+            for (k, _) in chunk.iter().enumerate() {
+                if caught & (1u64 << (k + 1)) != 0 {
+                    detected[base + k] = true;
+                }
+            }
+        }
+        detected
+    }
+
+    /// Fault-simulates `seq` from `init` and returns the full detection
+    /// profile of every fault: the earliest primary-output detection cycle
+    /// and the set of cycles whose end-of-cycle state differs observably.
+    ///
+    /// A fault's state-difference set is only tracked up to its
+    /// primary-output detection (later prefixes detect it regardless), which
+    /// is exactly what [`DetectionProfile::detected_by_prefix`] needs.
+    pub fn profiles(
+        &mut self,
+        init: &State,
+        seq: &Sequence,
+        faults: &[FaultId],
+        universe: &FaultUniverse,
+    ) -> Vec<DetectionProfile> {
+        let mut profiles = vec![DetectionProfile::default(); faults.len()];
+        for (chunk_idx, chunk) in faults.chunks(FAULTS_PER_PASS).enumerate() {
+            let base = chunk_idx * FAULTS_PER_PASS;
+            let active: u64 = if chunk.len() == FAULTS_PER_PASS {
+                !1u64
+            } else {
+                ((1u64 << chunk.len()) - 1) << 1
+            };
+            self.ov.clear();
+            for (k, &fid) in chunk.iter().enumerate() {
+                self.ov.add(universe.fault(fid), 1u64 << (k + 1));
+            }
+            let mut po_done = 0u64;
+            let mut state: Vec<W3> = init.iter().map(|&v| W3::broadcast(v)).collect();
+            let sim = CombSim::new(self.nl);
+            for t in 0..seq.len() {
+                self.seed_inputs(seq, t, &state);
+                sim.eval_with(&mut self.vals, &self.ov);
+                let po_mask = self.po_diff_mask() & active & !po_done;
+                if po_mask != 0 {
+                    for k in 0..chunk.len() {
+                        if po_mask & (1u64 << (k + 1)) != 0 {
+                            profiles[base + k].po_detect = Some(t as u32);
+                        }
+                    }
+                    po_done |= po_mask;
+                }
+                self.capture(&mut state);
+                let sd = state_diff_mask(&state) & active & !po_done;
+                if sd != 0 {
+                    for k in 0..chunk.len() {
+                        if sd & (1u64 << (k + 1)) != 0 {
+                            profiles[base + k].set_state_diff(t);
+                        }
+                    }
+                }
+                if po_done == active {
+                    break;
+                }
+            }
+        }
+        profiles
+    }
+
+    fn seed_inputs(&mut self, seq: &Sequence, t: usize, state: &[W3]) {
+        let vec = seq.vector(t);
+        debug_assert_eq!(vec.len(), self.nl.num_pis(), "input width mismatch");
+        for (i, &pi) in self.nl.pis().iter().enumerate() {
+            self.vals[pi.index()] = W3::broadcast(vec[i]);
+        }
+        for (f, ff) in self.nl.ffs().iter().enumerate() {
+            self.vals[ff.q().index()] = state[f];
+        }
+    }
+
+    fn po_diff_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for (k, &po) in self.nl.pos().iter().enumerate() {
+            let w = self
+                .ov
+                .apply_po_pin(PoId::from_index(k), self.vals[po.index()]);
+            match w.get(0) {
+                V3::One => mask |= w.zero,
+                V3::Zero => mask |= w.one,
+                V3::X => {}
+            }
+        }
+        mask
+    }
+
+    fn capture(&mut self, state: &mut [W3]) {
+        for (f, ff) in self.nl.ffs().iter().enumerate() {
+            let w = self
+                .ov
+                .apply_ff_pin(FfId::from_index(f), self.vals[ff.d().index()]);
+            state[f] = w;
+        }
+    }
+}
+
+/// Mask of slots whose state differs observably from slot 0 (good state
+/// binary, faulty state binary and opposite, for at least one flip-flop).
+fn state_diff_mask(state: &[W3]) -> u64 {
+    let mut mask = 0u64;
+    for w in state {
+        match w.get(0) {
+            V3::One => mask |= w.zero,
+            V3::Zero => mask |= w.one,
+            V3::X => {}
+        }
+    }
+    mask
+}
+
+/// [`state_diff_mask`] restricted to the flip-flops marked in `observed`.
+fn masked_state_diff(state: &[W3], observed: &[bool]) -> u64 {
+    debug_assert_eq!(state.len(), observed.len(), "observation mask width");
+    let mut mask = 0u64;
+    for (w, &obs) in state.iter().zip(observed) {
+        if !obs {
+            continue;
+        }
+        match w.get(0) {
+            V3::One => mask |= w.zero,
+            V3::Zero => mask |= w.one,
+            V3::X => {}
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultSite};
+    use crate::vectors::parse_values;
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_circuit::{GateKind, NetlistBuilder};
+
+    /// A 1-bit toggle counter: q' = q XOR en, out = q.
+    fn toggler() -> atspeed_circuit::Netlist {
+        let mut b = NetlistBuilder::new("tff");
+        b.input("en");
+        b.dff("q", "d");
+        b.gate(GateKind::Xor, "d", &["q", "en"]);
+        b.gate(GateKind::Buf, "out", &["q"]);
+        b.output("out");
+        b.finish().unwrap()
+    }
+
+    fn seq_of(rows: &[&str]) -> Sequence {
+        rows.iter().map(|r| parse_values(r)).collect()
+    }
+
+    #[test]
+    fn good_sim_toggles() {
+        let nl = toggler();
+        let sim = SeqSim::new(&nl);
+        let trace = sim.run(&vec![V3::Zero], &seq_of(&["1", "1", "0", "1"]));
+        // q starts 0; out shows q *before* capture.
+        let outs: Vec<V3> = trace.po_values.iter().map(|v| v[0]).collect();
+        assert_eq!(outs, vec![V3::Zero, V3::One, V3::Zero, V3::Zero]);
+        let states: Vec<V3> = trace.states.iter().map(|s| s[0]).collect();
+        assert_eq!(states, vec![V3::One, V3::Zero, V3::Zero, V3::One]);
+    }
+
+    #[test]
+    fn good_sim_from_unknown_state_stays_x_until_resolved() {
+        let nl = toggler();
+        let sim = SeqSim::new(&nl);
+        let trace = sim.run(&vec![V3::X], &seq_of(&["1", "1"]));
+        // XOR with en=1 keeps the state unknown.
+        assert_eq!(trace.po_values[0][0], V3::X);
+        assert_eq!(trace.states[1][0], V3::X);
+    }
+
+    #[test]
+    fn detects_stuck_en_via_po() {
+        let nl = toggler();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        // en stuck-at-0: q never toggles; detect at the PO at cycle 1.
+        let en = nl.find_net("en").unwrap();
+        let target = u
+            .all_ids()
+            .find(|&id| {
+                u.fault(id)
+                    == Fault {
+                        site: FaultSite::Stem(en),
+                        stuck: false,
+                    }
+            })
+            .unwrap();
+        let det = fsim.detect(&vec![V3::Zero], &seq_of(&["1", "0"]), &[target], &u, false);
+        assert_eq!(det, vec![true]);
+    }
+
+    #[test]
+    fn state_only_difference_needs_scan_out() {
+        let nl = toggler();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        let en = nl.find_net("en").unwrap();
+        let target = u
+            .all_ids()
+            .find(|&id| {
+                u.fault(id)
+                    == Fault {
+                        site: FaultSite::Stem(en),
+                        stuck: false,
+                    }
+            })
+            .unwrap();
+        // One cycle: PO shows the pre-toggle state (equal in both machines),
+        // but the captured state differs: only a scan-out detects it.
+        let seq = seq_of(&["1"]);
+        let no_scan = fsim.detect(&vec![V3::Zero], &seq, &[target], &u, false);
+        assert_eq!(no_scan, vec![false]);
+        let with_scan = fsim.detect(&vec![V3::Zero], &seq, &[target], &u, true);
+        assert_eq!(with_scan, vec![true]);
+    }
+
+    #[test]
+    fn profiles_record_state_diff_and_po_detect() {
+        let nl = toggler();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        let en = nl.find_net("en").unwrap();
+        let target = u
+            .all_ids()
+            .find(|&id| {
+                u.fault(id)
+                    == Fault {
+                        site: FaultSite::Stem(en),
+                        stuck: false,
+                    }
+            })
+            .unwrap();
+        let seq = seq_of(&["1", "0", "0"]);
+        let p = &fsim.profiles(&vec![V3::Zero], &seq, &[target], &u)[0];
+        // State differs after cycle 0; PO detects from cycle 1.
+        assert!(p.state_diff_at(0));
+        assert_eq!(p.po_detect, Some(1));
+        assert!(p.detected_by_prefix(0), "prefix 0 detected via scan-out");
+        assert!(p.detected_by_prefix(2), "later prefixes detected via PO");
+    }
+
+    #[test]
+    fn x_differences_do_not_count_as_detection() {
+        let nl = toggler();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        // From the unknown state, q stays X in the good machine, so even a
+        // hard fault on q cannot be *definitely* detected at the PO.
+        let q = nl.find_net("q").unwrap();
+        let target = u
+            .all_ids()
+            .find(|&id| {
+                u.fault(id)
+                    == Fault {
+                        site: FaultSite::Stem(q),
+                        stuck: true,
+                    }
+            })
+            .unwrap();
+        let det = fsim.detect(&vec![V3::X], &seq_of(&["1", "1"]), &[target], &u, true);
+        assert_eq!(det, vec![false]);
+    }
+
+    #[test]
+    fn s27_complete_detection_under_exhaustive_tests() {
+        // Every collapsed s27 fault is detectable in the full-scan sense;
+        // run many short scan tests and check a high detection count.
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let mut missed: Vec<FaultId> = reps.clone();
+        // Exhaustive over 4 PIs x 8 states, single-vector scan tests.
+        for st in 0..8u32 {
+            for pv in 0..16u32 {
+                if missed.is_empty() {
+                    break;
+                }
+                let init: State = (0..3).map(|b| V3::from_bool(st & (1 << b) != 0)).collect();
+                let seq: Sequence =
+                    std::iter::once((0..4).map(|b| V3::from_bool(pv & (1 << b) != 0)).collect())
+                        .collect();
+                let det = fsim.detect(&init, &seq, &missed, &u, true);
+                missed = missed
+                    .iter()
+                    .zip(det.iter())
+                    .filter(|(_, &d)| !d)
+                    .map(|(&f, _)| f)
+                    .collect();
+            }
+        }
+        assert!(
+            missed.is_empty(),
+            "all collapsed s27 faults are combinationally testable, missed {:?}",
+            missed
+                .iter()
+                .map(|&f| u.fault(f).describe(&nl))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn detect_matches_profiles_on_s27() {
+        // Differential test: full-sequence detection with scan-out equals
+        // `detected_by_prefix(L-1)` from the profile API.
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let seq = seq_of(&["1010", "0110", "0001", "1111", "0000"]);
+        let init: State = parse_values("010");
+        let det = fsim.detect(&init, &seq, &reps, &u, true);
+        let profiles = fsim.profiles(&init, &seq, &reps, &u);
+        for (k, p) in profiles.iter().enumerate() {
+            assert_eq!(
+                det[k],
+                p.detected_by_prefix(seq.len() - 1),
+                "fault {} profile/detect mismatch",
+                u.fault(reps[k]).describe(&nl)
+            );
+        }
+    }
+
+    #[test]
+    fn more_than_63_faults_use_multiple_passes() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        // All 52 uncollapsed faults plus repeats to exceed one pass.
+        let mut faults: Vec<FaultId> = u.all_ids().collect();
+        let extra: Vec<FaultId> = faults.iter().copied().take(30).collect();
+        faults.extend(extra);
+        let seq = seq_of(&["1010", "0110", "0001"]);
+        let det = fsim.detect(&parse_values("000"), &seq, &faults, &u, true);
+        assert_eq!(det.len(), faults.len());
+        // Repeated faults must agree with their first occurrence.
+        for i in 0..30 {
+            assert_eq!(det[i], det[52 + i], "pass boundary changed verdict");
+        }
+    }
+}

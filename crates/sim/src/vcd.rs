@@ -1,0 +1,173 @@
+//! VCD (Value Change Dump) export of fault-free simulation traces.
+//!
+//! Lets a simulated test be inspected in any waveform viewer (GTKWave and
+//! friends): primary inputs, primary outputs, and flip-flop states, one
+//! timestep per functional clock cycle.
+
+use std::fmt::Write as _;
+
+use atspeed_circuit::Netlist;
+
+use crate::fsim_seq::GoodTrace;
+use crate::logic::V3;
+use crate::vectors::Sequence;
+
+fn vcd_id(i: usize) -> String {
+    // Printable identifier characters per the VCD grammar (! to ~).
+    let mut n = i;
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn vcd_value(v: V3) -> char {
+    match v {
+        V3::Zero => '0',
+        V3::One => '1',
+        V3::X => 'x',
+    }
+}
+
+/// Renders the trace of one simulated test as VCD text.
+///
+/// `seq` must be the stimulus that produced `trace` (the primary-input
+/// values are taken from it; outputs and states from the trace).
+///
+/// # Panics
+///
+/// Panics if the trace and sequence lengths differ.
+pub fn write_vcd(nl: &Netlist, seq: &Sequence, trace: &GoodTrace) -> String {
+    assert_eq!(
+        seq.len(),
+        trace.po_values.len(),
+        "sequence/trace length mismatch"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "$date (atspeed simulation) $end");
+    let _ = writeln!(out, "$version atspeed VCD writer $end");
+    let _ = writeln!(out, "$timescale 1 ns $end");
+    let _ = writeln!(out, "$scope module {} $end", nl.name());
+
+    let mut ids = Vec::new();
+    let mut next_id = 0usize;
+    let mut declare = |out: &mut String, prefix: &str, name: &str, ids: &mut Vec<String>| {
+        let id = vcd_id(next_id);
+        next_id += 1;
+        let _ = writeln!(out, "$var wire 1 {id} {prefix}{name} $end");
+        ids.push(id);
+    };
+    for &pi in nl.pis() {
+        declare(&mut out, "pi_", nl.net_name(pi), &mut ids);
+    }
+    for &po in nl.pos() {
+        declare(&mut out, "po_", nl.net_name(po), &mut ids);
+    }
+    for ff in nl.ffs() {
+        declare(&mut out, "ff_", nl.net_name(ff.q()), &mut ids);
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    let n_pi = nl.num_pis();
+    let n_po = nl.num_pos();
+    let mut last: Vec<Option<V3>> = vec![None; ids.len()];
+    for t in 0..seq.len() {
+        let _ = writeln!(out, "#{t}");
+        let emit = |out: &mut String, idx: usize, v: V3, last: &mut Vec<Option<V3>>| {
+            if last[idx] != Some(v) {
+                let _ = writeln!(out, "{}{}", vcd_value(v), ids[idx]);
+                last[idx] = Some(v);
+            }
+        };
+        for (i, &v) in seq.vector(t).iter().enumerate() {
+            emit(&mut out, i, v, &mut last);
+        }
+        for (i, &v) in trace.po_values[t].iter().enumerate() {
+            emit(&mut out, n_pi + i, v, &mut last);
+        }
+        for (i, &v) in trace.states[t].iter().enumerate() {
+            emit(&mut out, n_pi + n_po + i, v, &mut last);
+        }
+    }
+    let _ = writeln!(out, "#{}", seq.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsim_seq::SeqSim;
+    use crate::vectors::parse_values;
+    use atspeed_circuit::bench_fmt::s27;
+
+    fn trace_of(rows: &[&str]) -> (atspeed_circuit::Netlist, Sequence, GoodTrace) {
+        let nl = s27();
+        let seq: Sequence = rows.iter().map(|r| parse_values(r)).collect();
+        let trace = SeqSim::new(&nl).run(&parse_values("000"), &seq);
+        (nl, seq, trace)
+    }
+
+    #[test]
+    fn vcd_has_required_sections() {
+        let (nl, seq, trace) = trace_of(&["1010", "0101", "1111"]);
+        let vcd = write_vcd(&nl, &seq, &trace);
+        for section in [
+            "$timescale",
+            "$scope module s27",
+            "$enddefinitions",
+            "$upscope",
+        ] {
+            assert!(vcd.contains(section), "missing {section}");
+        }
+        // One $var per PI, PO, FF.
+        let vars = vcd.matches("$var wire").count();
+        assert_eq!(vars, 4 + 1 + 3);
+        // Timesteps 0..=len.
+        assert!(vcd.contains("#0\n"));
+        assert!(vcd.contains("#3\n"));
+    }
+
+    #[test]
+    fn values_only_emitted_on_change() {
+        let (nl, seq, trace) = trace_of(&["0000", "0000", "0000"]);
+        let vcd = write_vcd(&nl, &seq, &trace);
+        // All inputs constant: each signal appears at most once after #0
+        // beyond its initial emission.
+        let t0 = vcd.split("#0").nth(1).unwrap();
+        let t1_onward = t0.split("#1").nth(1).unwrap();
+        let changes = t1_onward
+            .lines()
+            .filter(|l| l.starts_with('0') || l.starts_with('1') || l.starts_with('x'))
+            .count();
+        // The state settles after at most a couple of cycles.
+        assert!(
+            changes <= 8,
+            "too many changes for constant input: {changes}"
+        );
+    }
+
+    #[test]
+    fn ids_are_printable_and_unique() {
+        assert_eq!(vcd_id(0), "!");
+        assert_eq!(vcd_id(93), "~");
+        assert_eq!(vcd_id(94), "!\"");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            assert!(seen.insert(vcd_id(i)), "duplicate id at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_trace() {
+        let (nl, seq, trace) = trace_of(&["0000", "1111"]);
+        let shorter = seq.prefix(0);
+        let _ = write_vcd(&nl, &shorter, &trace);
+    }
+}

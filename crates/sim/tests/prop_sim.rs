@@ -1,0 +1,220 @@
+//! Property-based tests for the simulation substrate.
+
+use atspeed_circuit::synth::{generate, SynthSpec};
+use atspeed_circuit::{GateKind, Netlist};
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{CombFaultSim, CombSim, CombTest, SeqFaultSim, SeqSim, Sequence, V3, W3};
+use proptest::prelude::*;
+
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..6, 1usize..4, 1usize..8, 8usize..80, any::<u64>()).prop_map(
+        |(pis, pos, ffs, gates, seed)| {
+            generate(&SynthSpec::new("prop", pis, pos, ffs, gates, seed)).unwrap()
+        },
+    )
+}
+
+fn arb_v3() -> impl Strategy<Value = V3> {
+    prop_oneof![Just(V3::Zero), Just(V3::One), Just(V3::X)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packed gate evaluation agrees with scalar gate evaluation for every
+    /// kind and input mix.
+    #[test]
+    fn packed_matches_scalar_eval(
+        kind in prop_oneof![
+            Just(GateKind::And), Just(GateKind::Nand), Just(GateKind::Or),
+            Just(GateKind::Nor), Just(GateKind::Xor), Just(GateKind::Xnor),
+        ],
+        inputs in prop::collection::vec(arb_v3(), 1..5),
+        slot in 0usize..64,
+    ) {
+        let words: Vec<W3> = inputs
+            .iter()
+            .map(|&v| {
+                let mut w = W3::ALL_X;
+                w.set(slot, v);
+                w
+            })
+            .collect();
+        let packed = W3::eval_gate(kind, &words).get(slot);
+        let scalar = V3::eval_gate(kind, &inputs);
+        prop_assert_eq!(packed, scalar);
+    }
+
+    /// Simulating a circuit with per-slot inputs equals simulating each
+    /// slot alone (slot independence of the packed evaluator).
+    #[test]
+    fn packed_slots_are_independent(nl in arb_netlist(), seed in any::<u64>()) {
+        let sim = CombSim::new(&nl);
+        let mut rng = seed;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng & 1 == 1
+        };
+        // Two random input assignments in slots 0 and 1.
+        let mut vals = vec![W3::ALL_X; nl.num_nets()];
+        let mut scalars: Vec<Vec<V3>> = vec![Vec::new(); 2];
+        for &pi in nl.pis() {
+            let mut w = W3::ALL_X;
+            for (s, sc) in scalars.iter_mut().enumerate() {
+                let v = V3::from_bool(next());
+                w.set(s, v);
+                sc.push(v);
+            }
+            vals[pi.index()] = w;
+        }
+        for ff in nl.ffs() {
+            let mut w = W3::ALL_X;
+            for (s, sc) in scalars.iter_mut().enumerate() {
+                let v = V3::from_bool(next());
+                w.set(s, v);
+                sc.push(v);
+            }
+            vals[ff.q().index()] = w;
+        }
+        sim.eval(&mut vals);
+        // Replay each slot alone.
+        for (s, sc) in scalars.iter().enumerate() {
+            let mut alone = vec![W3::ALL_X; nl.num_nets()];
+            for (i, &pi) in nl.pis().iter().enumerate() {
+                alone[pi.index()] = W3::broadcast(sc[i]);
+            }
+            for (f, ff) in nl.ffs().iter().enumerate() {
+                alone[ff.q().index()] = W3::broadcast(sc[nl.num_pis() + f]);
+            }
+            sim.eval(&mut alone);
+            for net in nl.net_ids() {
+                prop_assert_eq!(vals[net.index()].get(s), alone[net.index()].get(0));
+            }
+        }
+    }
+
+    /// The event-driven PPSFP core agrees with brute-force re-simulation on
+    /// random circuits and random test blocks.
+    #[test]
+    fn event_driven_fsim_matches_bruteforce(nl in arb_netlist(), seed in any::<u64>()) {
+        let u = FaultUniverse::full(&nl);
+        let mut sim = CombFaultSim::new(&nl);
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng & 1 == 1
+        };
+        let tests: Vec<CombTest> = (0..16)
+            .map(|_| {
+                CombTest::new(
+                    (0..nl.num_ffs()).map(|_| V3::from_bool(next())).collect(),
+                    (0..nl.num_pis()).map(|_| V3::from_bool(next())).collect(),
+                )
+            })
+            .collect();
+        let faults: Vec<FaultId> = u.representatives().to_vec();
+        let fast = sim.detect_block(&tests, &faults, &u);
+        let slow = sim.detect_block_bruteforce(&tests, &faults, &u);
+        for (k, (&a, &b)) in fast.iter().zip(slow.iter()).enumerate() {
+            prop_assert_eq!(a, b, "fault {}", u.fault(faults[k]).describe(&nl));
+        }
+    }
+
+    /// A single-vector scan test behaves identically through the
+    /// combinational (PPSFP) and sequential (parallel-fault) engines.
+    #[test]
+    fn comb_and_seq_engines_agree_on_single_vector_tests(
+        nl in arb_netlist(),
+        seed in any::<u64>(),
+    ) {
+        let u = FaultUniverse::full(&nl);
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng & 1 == 1
+        };
+        let state: Vec<V3> = (0..nl.num_ffs()).map(|_| V3::from_bool(next())).collect();
+        let inputs: Vec<V3> = (0..nl.num_pis()).map(|_| V3::from_bool(next())).collect();
+        let faults: Vec<FaultId> = u.representatives().to_vec();
+
+        let mut csim = CombFaultSim::new(&nl);
+        let test = CombTest::new(state.clone(), inputs.clone());
+        let cmasks = csim.detect_block(std::slice::from_ref(&test), &faults, &u);
+
+        let mut ssim = SeqFaultSim::new(&nl);
+        let seq: Sequence = std::iter::once(inputs).collect();
+        let sdet = ssim.detect(&state, &seq, &faults, &u, true);
+
+        for (k, (&m, &d)) in cmasks.iter().zip(sdet.iter()).enumerate() {
+            prop_assert_eq!(m & 1 != 0, d, "fault {}", u.fault(faults[k]).describe(&nl));
+        }
+    }
+
+    /// Detection profiles are consistent: `detected_by_prefix` is monotone
+    /// in the prefix length once the primary-output detection time passes,
+    /// and the full-length verdict matches plain detection.
+    #[test]
+    fn profiles_are_consistent_with_detection(nl in arb_netlist(), seed in any::<u64>()) {
+        let u = FaultUniverse::full(&nl);
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng & 1 == 1
+        };
+        let seq: Sequence = (0..12)
+            .map(|_| (0..nl.num_pis()).map(|_| V3::from_bool(next())).collect::<Vec<_>>())
+            .collect();
+        let init: Vec<V3> = (0..nl.num_ffs()).map(|_| V3::from_bool(next())).collect();
+        let faults: Vec<FaultId> = u.representatives().to_vec();
+        let mut fsim = SeqFaultSim::new(&nl);
+        let profiles = fsim.profiles(&init, &seq, &faults, &u);
+        let det = fsim.detect(&init, &seq, &faults, &u, true);
+        for (k, p) in profiles.iter().enumerate() {
+            prop_assert_eq!(det[k], p.detected_by_prefix(seq.len() - 1));
+            if let Some(d) = p.po_detect {
+                for i in d as usize..seq.len() {
+                    prop_assert!(p.detected_by_prefix(i), "monotone after PO detect");
+                }
+                prop_assert_eq!(
+                    p.earliest_detection().map(|e| e <= d),
+                    Some(true)
+                );
+            }
+        }
+    }
+
+    /// Good simulation traces agree between `SeqSim` and slot 0 of the
+    /// fault simulator's machinery (via an empty fault list detect run).
+    #[test]
+    fn good_trace_states_feed_forward(nl in arb_netlist(), seed in any::<u64>()) {
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng & 1 == 1
+        };
+        let seq: Sequence = (0..6)
+            .map(|_| (0..nl.num_pis()).map(|_| V3::from_bool(next())).collect::<Vec<_>>())
+            .collect();
+        let init: Vec<V3> = (0..nl.num_ffs()).map(|_| V3::from_bool(next())).collect();
+        let sim = SeqSim::new(&nl);
+        let full = sim.run(&init, &seq);
+        // Re-running the suffix from an intermediate state gives the same
+        // tail (the state captures everything that matters).
+        let mid = seq.len() / 2;
+        if mid > 0 && mid < seq.len() {
+            let tail = sim.run(&full.states[mid - 1], &seq.subrange(mid, seq.len() - 1));
+            prop_assert_eq!(&tail.po_values[..], &full.po_values[mid..]);
+            prop_assert_eq!(&tail.states[..], &full.states[mid..]);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation of the paper's Step 3 design choice: the scan-out time rule.
+//!
+//! Section 3.1 of the paper discusses two ways to pick the scan-out time
+//! unit: `i₀` (the earliest prefix that loses no detected fault — their
+//! choice) and `i₁` (the prefix maximizing total detections). The paper
+//! reports that `i₁` "results in input sequences that are significantly
+//! longer, while the increase in the number of detected faults is marginal".
+//! This example reproduces that comparison.
+//!
+//! ```text
+//! cargo run --release --example ablation_scan_out [circuit]
+//! ```
+
+use atspeed::atpg::comb_tset::{self, CombTsetConfig};
+use atspeed::atpg::{directed_t0, DirectedConfig};
+use atspeed::circuit::catalog;
+use atspeed::core::iterate::{build_tau_seq, IterateConfig};
+use atspeed::core::{Phase1Config, ScanOutRule};
+use atspeed::sim::fault::FaultUniverse;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s298".to_owned());
+    let nl = catalog::by_name(&name)
+        .expect("circuit in the paper's catalog")
+        .instantiate();
+    let universe = FaultUniverse::full(&nl);
+    let targets = universe.representatives().to_vec();
+    let c = comb_tset::generate(&nl, &universe, &CombTsetConfig::default())
+        .expect("C generation succeeds")
+        .tests;
+    let t0 = directed_t0(
+        &nl,
+        &universe,
+        &targets,
+        &DirectedConfig {
+            max_len: 512,
+            ..DirectedConfig::default()
+        },
+    );
+
+    println!("{name}: |F| = {}, L(T0) = {}", targets.len(), t0.len());
+    println!(
+        "{:<22} {:>10} {:>10}",
+        "scan-out rule", "L(T_seq)", "detected"
+    );
+    for (label, rule) in [
+        ("i0 (earliest, paper)", ScanOutRule::EarliestComplete),
+        ("i1 (max detection)", ScanOutRule::MaxDetectEarliest),
+    ] {
+        let cfg = IterateConfig {
+            phase1: Phase1Config {
+                scan_out_rule: rule,
+                ..IterateConfig::default().phase1
+            },
+            ..IterateConfig::default()
+        };
+        let r =
+            build_tau_seq(&nl, &universe, &t0, &c, &targets, cfg).expect("candidates available");
+        println!(
+            "{:<22} {:>10} {:>10}",
+            label,
+            r.test.len(),
+            r.detected.len()
+        );
+    }
+    println!();
+    println!("The paper chose i0: i1 trades a marginal detection gain for");
+    println!("significantly longer sequences (Section 3.1).");
+}

@@ -1,0 +1,120 @@
+//! The full four-phase flow on a catalog benchmark, narrated phase by
+//! phase using the lower-level APIs (rather than the one-call [`Pipeline`]).
+//!
+//! ```text
+//! cargo run --release --example at_speed_flow [circuit]
+//! ```
+//!
+//! [`Pipeline`]: atspeed::core::Pipeline
+
+use atspeed::atpg::comb_tset::{self, CombTsetConfig};
+use atspeed::atpg::{directed_t0, DirectedConfig};
+use atspeed::circuit::catalog;
+use atspeed::core::iterate::{build_tau_seq, IterateConfig};
+use atspeed::core::phase3::top_up;
+use atspeed::core::phase4::combine_tests;
+use atspeed::core::{ScanTest, TestSet};
+use atspeed::sim::fault::FaultUniverse;
+use atspeed::sim::{SeqFaultSim, V3};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s298".to_owned());
+    let info = catalog::by_name(&name).expect("circuit in the paper's catalog");
+    let nl = info.instantiate();
+    let n_sv = nl.num_ffs();
+    println!(
+        "== {} ({} FFs, {} gates) ==",
+        nl.name(),
+        n_sv,
+        nl.num_gates()
+    );
+
+    let universe = FaultUniverse::full(&nl);
+    let targets = universe.representatives().to_vec();
+    println!(
+        "fault universe: {} total, {} collapsed",
+        universe.num_faults(),
+        universe.num_collapsed()
+    );
+
+    // Substrate 1: the combinational test set C.
+    let c = comb_tset::generate(&nl, &universe, &CombTsetConfig::default())
+        .expect("C generation succeeds");
+    println!(
+        "combinational test set C: {} tests, {} detected, {} untestable, {} aborted",
+        c.tests.len(),
+        c.detected,
+        c.untestable.len(),
+        c.aborted.len()
+    );
+
+    // Substrate 2: the scan-less sequence T0 (STRATEGATE stand-in).
+    let t0 = directed_t0(&nl, &universe, &targets, &DirectedConfig::default());
+    let mut fsim = SeqFaultSim::new(&nl);
+    let f0_count = fsim
+        .detect(&vec![V3::X; n_sv], &t0, &targets, &universe, false)
+        .iter()
+        .filter(|&&d| d)
+        .count();
+    println!(
+        "T0: {} vectors, detects {} faults without scan",
+        t0.len(),
+        f0_count
+    );
+
+    // Phases 1-2, iterated.
+    let tau = build_tau_seq(
+        &nl,
+        &universe,
+        &t0,
+        &c.tests,
+        &targets,
+        IterateConfig::default(),
+    )
+    .expect("candidates available");
+    println!(
+        "Phases 1-2 ({} iterations): tau_seq = (SI, {} vectors), detects {}",
+        tau.iterations,
+        tau.test.len(),
+        tau.detected.len()
+    );
+
+    // Phase 3.
+    let undetected: Vec<_> = targets
+        .iter()
+        .filter(|f| !tau.detected.contains(f))
+        .copied()
+        .collect();
+    let p3 = top_up(&nl, &universe, &c.tests, &undetected);
+    println!(
+        "Phase 3: {} single-vector tests added, {} faults uncoverable",
+        p3.added.len(),
+        p3.still_undetected.len()
+    );
+
+    // Phase 4.
+    let mut tests: Vec<ScanTest> = vec![tau.test.clone()];
+    tests.extend(p3.added.iter().cloned());
+    let initial = TestSet::from_tests(tests);
+    let covered: Vec<_> = targets
+        .iter()
+        .filter(|f| !p3.still_undetected.contains(f))
+        .copied()
+        .collect();
+    let (compacted, stats) = combine_tests(&nl, &universe, &initial, &covered);
+    println!(
+        "Phase 4: {} combinations in {} rounds; {} -> {} tests",
+        stats.combinations,
+        stats.rounds,
+        initial.len(),
+        compacted.len()
+    );
+    println!(
+        "clock cycles: initial {} -> compacted {}",
+        initial.clock_cycles(n_sv),
+        compacted.clock_cycles(n_sv)
+    );
+    if let (Some(a), Some(b)) = (initial.at_speed_stats(), compacted.at_speed_stats()) {
+        println!("at-speed lengths: initial {a}, compacted {b}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Partial-scan sweep (the paper's stated extension): how fault coverage
+//! and test application time trade off as the scan chain shrinks.
+//!
+//! ```text
+//! cargo run --release --example partial_scan [circuit]
+//! ```
+
+use atspeed::atpg::comb_tset::{self, CombTsetConfig};
+use atspeed::circuit::catalog;
+use atspeed::core::{PartialScan, TestSet};
+use atspeed::sim::fault::FaultUniverse;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s298".to_owned());
+    let nl = catalog::by_name(&name)
+        .expect("circuit in the paper's catalog")
+        .instantiate();
+    let universe = FaultUniverse::full(&nl);
+    let targets = universe.representatives().to_vec();
+    let c = comb_tset::generate(&nl, &universe, &CombTsetConfig::default())
+        .expect("C generation succeeds")
+        .tests;
+    let set = TestSet::from_comb_tests(&c);
+    let n = nl.num_ffs();
+
+    println!(
+        "{name}: {} FFs, {} collapsed faults, {} single-vector tests",
+        n,
+        targets.len(),
+        set.len()
+    );
+    println!(
+        "{:>10} {:>8} {:>10} {:>10}",
+        "chain", "cycles", "detected", "coverage"
+    );
+    for percent in [100usize, 75, 50, 25, 0] {
+        let k = (n * percent).div_ceil(100);
+        let pscan = PartialScan::first_k(n, k);
+        let cycles = pscan.clock_cycles(&set);
+        let detected = pscan.count_detected(&nl, &universe, &set, &targets);
+        println!(
+            "{:>7}/{:<2} {:>8} {:>10} {:>9.1}%",
+            k,
+            n,
+            cycles,
+            detected,
+            100.0 * detected as f64 / targets.len() as f64
+        );
+    }
+    println!();
+    println!("Shorter chains cut the (k+1)*N_chain scan cost but lose the");
+    println!("controllability/observability of the dropped flip-flops.");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run the whole compaction procedure on the embedded s27
+//! benchmark and print what each phase produced.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use atspeed::circuit::bench_fmt::s27;
+use atspeed::core::{Pipeline, T0Source};
+
+fn main() {
+    let netlist = s27();
+    println!(
+        "circuit {}: {} PIs, {} POs, {} FFs, {} gates",
+        netlist.name(),
+        netlist.num_pis(),
+        netlist.num_pos(),
+        netlist.num_ffs(),
+        netlist.num_gates()
+    );
+
+    let result = Pipeline::new(&netlist)
+        .t0_source(T0Source::Directed { max_len: 64 })
+        .seed(7)
+        .run()
+        .expect("pipeline runs on s27");
+
+    println!("collapsed faults            : {}", result.total_faults);
+    println!("combinational test set |C|  : {}", result.num_comb_tests);
+    println!(
+        "T0 (no scan)                : {} vectors, {} faults detected",
+        result.t0_len, result.t0_detected
+    );
+    println!(
+        "tau_seq after Phases 1-2    : {} vectors, {} faults detected",
+        result.tau_seq_len, result.tau_seq_detected
+    );
+    println!("tests added in Phase 3      : {}", result.added_tests);
+    println!(
+        "final coverage              : {}/{} ({:.1}%)",
+        result.final_detected,
+        result.total_faults,
+        100.0 * result.coverage()
+    );
+    println!(
+        "clock cycles (init -> comp) : {} -> {}",
+        result.init_cycles, result.comp_cycles
+    );
+    if let Some(st) = result.at_speed_comp {
+        println!("at-speed sequence lengths   : {st}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Workspace-level property tests: the full proposed procedure on random
+//! small circuits, checked against the paper's invariants.
+
+use atspeed::circuit::synth::{generate, SynthSpec};
+use atspeed::circuit::Netlist;
+use atspeed::core::{Pipeline, T0Source};
+use atspeed::sim::fault::FaultUniverse;
+use proptest::prelude::*;
+
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..5, 1usize..4, 2usize..8, 12usize..60, any::<u64>()).prop_map(
+        |(pis, pos, ffs, gates, seed)| {
+            generate(&SynthSpec::new("prop", pis, pos, ffs, gates, seed)).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pipeline upholds the paper's structural guarantees on any
+    /// circuit: monotone detection across stages, sequences never longer
+    /// than T0, compaction never increasing cost, and the cost model
+    /// consistent with the test sets it reports.
+    #[test]
+    fn pipeline_invariants_on_random_circuits(
+        nl in arb_netlist(),
+        seed in any::<u64>(),
+        t0_len in 16usize..64,
+    ) {
+        let r = Pipeline::new(&nl)
+            .t0_source(T0Source::Random { len: t0_len })
+            .seed(seed)
+            .run()
+            .unwrap();
+        prop_assert!(r.t0_detected <= r.tau_seq_detected, "F_SI ⊇ F_0");
+        prop_assert!(r.tau_seq_detected <= r.final_detected);
+        prop_assert!(r.final_detected <= r.total_faults);
+        prop_assert!(r.tau_seq_len <= r.t0_len);
+        prop_assert!(r.tau_seq_len >= 1);
+        prop_assert!(r.comp_cycles <= r.init_cycles);
+        prop_assert_eq!(
+            r.init_cycles,
+            r.initial_set.clock_cycles(nl.num_ffs())
+        );
+        prop_assert_eq!(
+            r.comp_cycles,
+            r.compacted_set.clock_cycles(nl.num_ffs())
+        );
+        // Phase 4 never changes the total vector count, only the test
+        // count (the paper's combining argument).
+        prop_assert_eq!(
+            r.initial_set.total_vectors(),
+            r.compacted_set.total_vectors()
+        );
+        prop_assert!(r.compacted_set.len() <= r.initial_set.len());
+    }
+
+    /// The reported final coverage matches an independent re-simulation of
+    /// the compacted set, and the compacted set never detects fewer faults
+    /// than the initial set.
+    #[test]
+    fn reported_coverage_is_reproducible(
+        nl in arb_netlist(),
+        seed in any::<u64>(),
+    ) {
+        let r = Pipeline::new(&nl)
+            .t0_source(T0Source::Random { len: 32 })
+            .seed(seed)
+            .run()
+            .unwrap();
+        let u = FaultUniverse::full(&nl);
+        let reps = u.representatives().to_vec();
+        let init_cov = r.initial_set.count_detected(&nl, &u, &reps);
+        let comp_cov = r.compacted_set.count_detected(&nl, &u, &reps);
+        prop_assert_eq!(init_cov, r.final_detected, "initial set coverage");
+        prop_assert!(comp_cov >= init_cov, "phase 4 must preserve coverage");
+    }
+}
