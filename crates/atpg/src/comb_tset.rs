@@ -18,7 +18,7 @@
 
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombFaultSim, CombTest, V3};
+use atspeed_sim::{CombTest, ParallelFsim, SimConfig, V3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,6 +51,10 @@ pub struct CombTsetConfig {
     pub engine: DeterministicEngine,
     /// Whether to run reverse-order compaction at the end.
     pub reverse_compact: bool,
+    /// Threading for the fault-simulation stages (random phase, reverse
+    /// compaction, final coverage count). The default single thread
+    /// reproduces the serial flow bit-for-bit.
+    pub sim: SimConfig,
 }
 
 impl Default for CombTsetConfig {
@@ -62,6 +66,7 @@ impl Default for CombTsetConfig {
             podem: PodemConfig::default(),
             engine: DeterministicEngine::default(),
             reverse_compact: true,
+            sim: SimConfig::default(),
         }
     }
 }
@@ -113,7 +118,7 @@ pub fn generate(
         return Err(AtpgError::EmptyFaultList);
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut sim = CombFaultSim::new(nl);
+    let sim = ParallelFsim::new(nl, cfg.sim);
     let mut tests: Vec<CombTest> = Vec::new();
     let mut alive: Vec<FaultId> = reps.clone();
 
@@ -201,7 +206,7 @@ pub fn generate(
 
     // Phase 3: reverse-order compaction.
     if cfg.reverse_compact && !tests.is_empty() {
-        tests = reverse_order_compact(&mut sim, tests, &reps, universe);
+        tests = reverse_order_compact(&sim, tests, &reps, universe);
     }
 
     let detected = sim
@@ -219,8 +224,12 @@ pub fn generate(
 
 /// Reverse-order fault-simulation compaction: keep a test only if it
 /// detects a fault no later-ordered kept test detects.
+///
+/// Each single-test simulation is fault-sharded; the keep/discard decision
+/// over the (order-independent) per-fault masks is sequential, so the kept
+/// set is identical at any thread count.
 fn reverse_order_compact(
-    sim: &mut CombFaultSim<'_>,
+    sim: &ParallelFsim<'_>,
     tests: Vec<CombTest>,
     reps: &[FaultId],
     universe: &FaultUniverse,

@@ -309,9 +309,8 @@ impl<'a> Podem<'a> {
                             for &inet in gate.inputs() {
                                 match self.good[inet.index()] {
                                     V3::X => {
-                                        let cost = |n: NetId| {
-                                            self.scoap.cc0(n).min(self.scoap.cc1(n))
-                                        };
+                                        let cost =
+                                            |n: NetId| self.scoap.cc0(n).min(self.scoap.cc1(n));
                                         if chosen.is_none_or(|c| cost(inet) < cost(c)) {
                                             chosen = Some(inet);
                                         }

@@ -245,7 +245,10 @@ mod tests {
         let (short, _) = restore_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
         let mut fsim = SeqFaultSim::new(&nl);
         let ok = fsim.detect(&init, &short, &targets, &u, true);
-        assert!(ok.iter().all(|&d| d), "guarantee must hold under any budget");
+        assert!(
+            ok.iter().all(|&d| d),
+            "guarantee must hold under any budget"
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ impl Lit {
     /// Negative literal of `v`.
     #[inline]
     pub fn neg(v: Var) -> Lit {
-        Lit { code: (v.0 << 1) | 1 }
+        Lit {
+            code: (v.0 << 1) | 1,
+        }
     }
 
     /// Literal of `v` with the given polarity.
@@ -250,10 +252,9 @@ impl Solver {
                 }
                 match (unassigned_count, unassigned) {
                     (0, _) => return false,
-                    (1, Some(l))
-                        if !self.enqueue(l) => {
-                            return false;
-                        }
+                    (1, Some(l)) if !self.enqueue(l) => {
+                        return false;
+                    }
                     _ => {}
                 }
             }
@@ -388,9 +389,7 @@ mod tests {
             let mut brute_sat = false;
             'outer: for model in 0..(1u32 << n) {
                 for cl in &clauses {
-                    let ok = cl
-                        .iter()
-                        .any(|&(v, pos)| ((model >> v) & 1 == 1) == pos);
+                    let ok = cl.iter().any(|&(v, pos)| ((model >> v) & 1 == 1) == pos);
                     if !ok {
                         continue 'outer;
                     }
@@ -416,9 +415,7 @@ mod tests {
             );
             if got == SatResult::Sat {
                 for cl in &clauses {
-                    let ok = cl
-                        .iter()
-                        .any(|&(v, pos)| s.value(vars[v]) == Some(pos));
+                    let ok = cl.iter().any(|&(v, pos)| s.value(vars[v]) == Some(pos));
                     assert!(ok, "model does not satisfy {cl:?}");
                 }
             }

@@ -184,7 +184,12 @@ impl<'a> SatAtpg<'a> {
             }
             // d <-> (g xor f)
             let d = solver.new_var();
-            encode_xor2(&mut solver, Lit::pos(d), Lit::pos(good[net.index()]), Lit::pos(fvar));
+            encode_xor2(
+                &mut solver,
+                Lit::pos(d),
+                Lit::pos(good[net.index()]),
+                Lit::pos(fvar),
+            );
             diff_lits.push(Lit::pos(d));
         }
         if diff_lits.is_empty() {
@@ -259,7 +264,11 @@ fn encode_gate(solver: &mut Solver, kind: GateKind, out: Var, ins: &[Lit]) {
             solver.add_clause([out_pos, ins[0]]);
         }
         GateKind::And | GateKind::Nand => {
-            let o = if kind == GateKind::And { out_pos } else { out_neg };
+            let o = if kind == GateKind::And {
+                out_pos
+            } else {
+                out_neg
+            };
             let no = o.negate();
             // o -> every input; (all inputs) -> o.
             for &i in ins {
@@ -270,7 +279,11 @@ fn encode_gate(solver: &mut Solver, kind: GateKind, out: Var, ins: &[Lit]) {
             solver.add_clause(cl);
         }
         GateKind::Or | GateKind::Nor => {
-            let o = if kind == GateKind::Or { out_pos } else { out_neg };
+            let o = if kind == GateKind::Or {
+                out_pos
+            } else {
+                out_neg
+            };
             let no = o.negate();
             for &i in ins {
                 solver.add_clause([o, i.negate()]);
@@ -280,7 +293,11 @@ fn encode_gate(solver: &mut Solver, kind: GateKind, out: Var, ins: &[Lit]) {
             solver.add_clause(cl);
         }
         GateKind::Xor | GateKind::Xnor => {
-            let o = if kind == GateKind::Xor { out_pos } else { out_neg };
+            let o = if kind == GateKind::Xor {
+                out_pos
+            } else {
+                out_neg
+            };
             if ins.len() == 1 {
                 // Single-input XOR behaves as a buffer.
                 solver.add_clause([o.negate(), ins[0]]);

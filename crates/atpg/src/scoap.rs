@@ -70,9 +70,8 @@ impl Scoap {
                 }
                 GateKind::Xor | GateKind::Xnor => {
                     // Cheapest even/odd parity assignment over the inputs.
-                    let (even, odd) = parity_costs(ins.iter().map(|i| {
-                        (cc0[i.index()], cc1[i.index()])
-                    }));
+                    let (even, odd) =
+                        parity_costs(ins.iter().map(|i| (cc0[i.index()], cc1[i.index()])));
                     (even.saturating_add(1), odd.saturating_add(1))
                 }
                 GateKind::Not | GateKind::Buf => (
@@ -166,11 +165,7 @@ impl Scoap {
     /// complement of the stuck value at the site plus its observability.
     /// Useful for ordering deterministic test generation hardest-first or
     /// easiest-first.
-    pub fn fault_difficulty(
-        &self,
-        nl: &Netlist,
-        fault: atspeed_sim::fault::Fault,
-    ) -> u32 {
+    pub fn fault_difficulty(&self, nl: &Netlist, fault: atspeed_sim::fault::Fault) -> u32 {
         use atspeed_sim::fault::FaultSite;
         let net = match fault.site {
             FaultSite::Stem(n) => n,

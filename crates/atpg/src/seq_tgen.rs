@@ -14,9 +14,12 @@
 //! - [`property_t0`] — PROPTEST-style burst generation: random bursts are
 //!   kept only when they detect new faults, otherwise rolled back.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombSim, Overrides, Sequence, V3, W3};
+use atspeed_sim::{stats, CombSim, Overrides, Sequence, SimConfig, V3, W3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +49,9 @@ pub struct DirectedConfig {
     pub sample_groups: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Threading for candidate scoring; scoring is side-effect-free, so
+    /// the selected vectors are identical at any thread count.
+    pub sim: SimConfig,
 }
 
 impl Default for DirectedConfig {
@@ -56,6 +62,7 @@ impl Default for DirectedConfig {
             plateau_limit: 40,
             sample_groups: 8,
             seed: 2,
+            sim: SimConfig::default(),
         }
     }
 }
@@ -253,25 +260,35 @@ impl<'a> IncrementalSim<'a> {
     /// Scores `vector` without committing: `(new detections, state
     /// activity)` over the first `sample` still-live groups.
     pub fn score(&mut self, vector: &[V3], sample: usize) -> (usize, usize) {
+        let mut vals = std::mem::take(&mut self.vals);
+        let r = self.score_in(&mut vals, vector, sample);
+        self.vals = vals;
+        r
+    }
+
+    /// [`IncrementalSim::score`] with caller-provided scratch: evaluation
+    /// rewrites every net from the seeded inputs, so any scratch of
+    /// `num_nets` width gives the same score. Committing nothing and taking
+    /// `&self`, this is shareable across scoring threads.
+    pub fn score_in(&self, vals: &mut [W3], vector: &[V3], sample: usize) -> (usize, usize) {
         let sim = CombSim::new(self.nl);
         let mut detections = 0usize;
         let mut activity = 0usize;
         let mut scored = 0usize;
-        for gi in 0..self.groups.len() {
+        for g in &self.groups {
             if scored >= sample {
                 break;
             }
-            if self.groups[gi].detected == self.groups[gi].active {
+            if g.detected == g.active {
                 continue;
             }
             scored += 1;
-            let g = &self.groups[gi];
-            seed(self.nl, &mut self.vals, vector, &g.state);
-            sim.eval_with(&mut self.vals, &g.ov);
-            let po_mask = po_diff(self.nl, &self.vals, &g.ov);
+            seed(self.nl, vals, vector, &g.state);
+            sim.eval_with(vals, &g.ov);
+            let po_mask = po_diff(self.nl, vals, &g.ov);
             detections += (po_mask & g.active & !g.detected).count_ones() as usize;
             // Activity: faulty machines whose next state newly differs.
-            let next = capture(self.nl, &self.vals, &g.ov);
+            let next = capture(self.nl, vals, &g.ov);
             let mut sd = 0u64;
             for w in &next {
                 match w.get(0) {
@@ -283,6 +300,46 @@ impl<'a> IncrementalSim<'a> {
             activity += (sd & g.active & !g.detected).count_ones() as usize;
         }
         (detections, activity)
+    }
+
+    /// Scores every candidate in `cands`, sharding candidates across
+    /// `sim.threads` workers (each with its own net scratch). Scoring is
+    /// read-only, so the result vector is identical at any thread count.
+    pub fn score_batch(
+        &self,
+        cands: &[Vec<V3>],
+        sample: usize,
+        sim: SimConfig,
+    ) -> Vec<(usize, usize)> {
+        let threads = sim.effective_threads(cands.len());
+        if threads <= 1 {
+            let mut vals = vec![W3::ALL_X; self.nl.num_nets()];
+            return cands
+                .iter()
+                .map(|c| self.score_in(&mut vals, c, sample))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, usize)>> = Mutex::new(vec![(0, 0); cands.len()]);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let mut vals = vec![W3::ALL_X; self.nl.num_nets()];
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= cands.len() {
+                            break;
+                        }
+                        let started = std::time::Instant::now();
+                        let r = self.score_in(&mut vals, &cands[k], sample);
+                        stats::record_partition(started.elapsed());
+                        results.lock().unwrap_or_else(|e| e.into_inner())[k] = r;
+                    }
+                    stats::flush();
+                });
+            }
+        });
+        results.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -331,26 +388,33 @@ pub fn directed_t0(
     let mut seq = Sequence::new();
     let mut plateau = 0usize;
     while seq.len() < cfg.max_len && plateau < cfg.plateau_limit && !inc.all_detected() {
-        let mut best: Option<(usize, usize, Vec<V3>)> = None;
-        for _ in 0..cfg.candidates.max(1) {
-            let cand: Vec<V3> = (0..nl.num_pis())
-                .map(|_| V3::from_bool(rng.gen()))
-                .collect();
-            let (det, act) = inc.score(&cand, cfg.sample_groups.max(1));
-            let better = match &best {
-                None => true,
-                Some((bd, ba, _)) => det > *bd || (det == *bd && act > *ba),
-            };
-            if better {
-                best = Some((det, act, cand));
-            }
-        }
-        let (_, _, chosen) = best.expect("at least one candidate");
+        let cands: Vec<Vec<V3>> = (0..cfg.candidates.max(1))
+            .map(|_| {
+                (0..nl.num_pis())
+                    .map(|_| V3::from_bool(rng.gen()))
+                    .collect()
+            })
+            .collect();
+        let scores = inc.score_batch(&cands, cfg.sample_groups.max(1), cfg.sim);
+        let chosen = pick_best(cands, &scores);
         let newly = inc.apply(&chosen);
         seq.push(chosen);
         plateau = if newly == 0 { plateau + 1 } else { 0 };
     }
     seq
+}
+
+/// The first candidate with lexicographically maximal `(detections,
+/// activity)` — the same winner the historical strictly-better scan picked.
+pub fn pick_best(cands: Vec<Vec<V3>>, scores: &[(usize, usize)]) -> Vec<V3> {
+    assert!(!cands.is_empty(), "at least one candidate");
+    let mut k = 0;
+    for i in 1..scores.len() {
+        if scores[i] > scores[k] {
+            k = i;
+        }
+    }
+    cands.into_iter().nth(k).expect("index in range")
 }
 
 /// PROPTEST-style burst generation: append a random burst only when it

@@ -4,10 +4,20 @@
 //!
 //! ```text
 //! tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel]
+//!        [--csv FILE] [--sim-json FILE]
 //! ```
 //!
 //! Without `--table`, all five tables print. `--circuits` filters by name
 //! (comma-separated); `--quick` uses reduced effort for smoke runs.
+//!
+//! A per-phase simulation-instrumentation report (gate evaluations,
+//! fault-sim invocations, faults dropped, partition wall times) prints
+//! after the tables; `--sim-json FILE` additionally writes it as JSON
+//! (conventionally `BENCH_<tag>.json`). Phase attribution is exact under
+//! `--no-parallel`; with the parallel circuit runner, concurrently running
+//! circuits share the phase labels, so per-phase rows are approximate while
+//! totals remain exact. `SIM_THREADS` sets the fault-simulation thread
+//! count inside each pipeline (unset or 1 = serial, 0 = all cores).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -22,6 +32,7 @@ struct Args {
     quick: bool,
     parallel: bool,
     csv: Option<String>,
+    sim_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         parallel: true,
         csv: None,
+        sim_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,10 +63,14 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => {
                 args.csv = Some(it.next().ok_or("--csv needs a path")?);
             }
+            "--sim-json" => {
+                args.sim_json = Some(it.next().ok_or("--sim-json needs a path")?);
+            }
             "--no-parallel" => args.parallel = false,
             "--help" | "-h" => {
                 return Err(
-                    "usage: tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel] [--csv FILE]"
+                    "usage: tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel] \
+                     [--csv FILE] [--sim-json FILE]"
                         .to_owned(),
                 )
             }
@@ -62,6 +78,10 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+fn sim_threads() -> String {
+    std::env::var("SIM_THREADS").unwrap_or_else(|_| "1".to_owned())
 }
 
 fn main() -> ExitCode {
@@ -94,6 +114,7 @@ fn main() -> ExitCode {
         Effort::Full
     };
 
+    atspeed_sim::stats::reset();
     let start = Instant::now();
     eprintln!(
         "running {} circuits ({} effort, {})...",
@@ -115,6 +136,19 @@ fn main() -> ExitCode {
                 println!("{}", render_table(n, &exps));
             }
         }
+    }
+    let report = atspeed_sim::stats::report();
+    println!(
+        "Simulation instrumentation (SIM_THREADS={}):",
+        sim_threads()
+    );
+    println!("{report}");
+    if let Some(path) = args.sim_json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
     if let Some(path) = args.csv {
         let csv = atspeed_bench::csv::to_csv(&exps);

@@ -98,8 +98,10 @@ pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
             .expect("random-T0 pipeline runs")
     });
 
+    atspeed_sim::stats::set_phase("baseline4");
     let b4 = baseline4(&nl, &universe, &comb, &targets);
     let n_sv = nl.num_ffs();
+    atspeed_sim::stats::set_phase("baseline-dynamic");
     let dynamic = dynamic_schedule(
         &nl,
         &universe,

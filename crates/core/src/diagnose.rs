@@ -93,12 +93,18 @@ pub fn diagnose(
         })
         .collect();
     out.sort_by(|a, b| {
-        (a.false_fails, a.missed_fails, std::cmp::Reverse(a.matching), a.fault).cmp(&(
-            b.false_fails,
-            b.missed_fails,
-            std::cmp::Reverse(b.matching),
-            b.fault,
-        ))
+        (
+            a.false_fails,
+            a.missed_fails,
+            std::cmp::Reverse(a.matching),
+            a.fault,
+        )
+            .cmp(&(
+                b.false_fails,
+                b.missed_fails,
+                std::cmp::Reverse(b.matching),
+                b.fault,
+            ))
     });
     out
 }
@@ -167,9 +173,7 @@ mod tests {
         assert_eq!(ranked.len(), reps.len());
         // Sorted by (false_fails, missed_fails).
         for w in ranked.windows(2) {
-            assert!(
-                (w[0].false_fails, w[0].missed_fails) <= (w[1].false_fails, w[1].missed_fails)
-            );
+            assert!((w[0].false_fails, w[0].missed_fails) <= (w[1].false_fails, w[1].missed_fails));
         }
     }
 

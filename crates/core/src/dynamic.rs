@@ -14,10 +14,11 @@
 //! faithful substitute at the level the paper compares on — total clock
 //! cycles of the resulting schedule (Table 3, column "[2,3]").
 
+use atspeed_atpg::seq_tgen::pick_best;
 use atspeed_atpg::IncrementalSim;
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombTest, V3};
+use atspeed_sim::{CombTest, SimConfig, V3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,6 +36,9 @@ pub struct DynamicConfig {
     pub sample_groups: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Threading for candidate scoring; the schedule is identical at any
+    /// thread count (scoring is read-only, selection sequential).
+    pub sim: SimConfig,
 }
 
 impl Default for DynamicConfig {
@@ -45,6 +49,7 @@ impl Default for DynamicConfig {
             max_stale_scans: 3,
             sample_groups: 8,
             seed: 4,
+            sim: SimConfig::default(),
         }
     }
 }
@@ -91,25 +96,20 @@ pub fn dynamic_schedule(
     let mut gap = 0usize;
     while !inc.all_detected() && stale_scans < cfg.max_stale_scans {
         // Functional phase: greedy vector selection from the current state.
-        let mut best: Option<(usize, usize, Vec<V3>)> = None;
-        for k in 0..cfg.random_candidates + 1 {
-            let cand: Vec<V3> = if k == 0 && next_c < comb_tests.len() {
-                comb_tests[next_c].inputs.clone()
-            } else {
-                (0..nl.num_pis())
-                    .map(|_| V3::from_bool(rng.gen()))
-                    .collect()
-            };
-            let (det, act) = inc.score(&cand, cfg.sample_groups);
-            let better = match &best {
-                None => true,
-                Some((bd, ba, _)) => det > *bd || (det == *bd && act > *ba),
-            };
-            if better {
-                best = Some((det, act, cand));
-            }
-        }
-        let (det_est, _, chosen) = best.expect("at least one candidate");
+        let cands: Vec<Vec<V3>> = (0..cfg.random_candidates + 1)
+            .map(|k| {
+                if k == 0 && next_c < comb_tests.len() {
+                    comb_tests[next_c].inputs.clone()
+                } else {
+                    (0..nl.num_pis())
+                        .map(|_| V3::from_bool(rng.gen()))
+                        .collect()
+                }
+            })
+            .collect();
+        let scores = inc.score_batch(&cands, cfg.sample_groups, cfg.sim);
+        let det_est = scores.iter().map(|&(d, _)| d).max().unwrap_or(0);
+        let chosen = pick_best(cands, &scores);
         if det_est > 0 || gap < cfg.max_gap {
             let newly = inc.apply(&chosen);
             functional += 1;

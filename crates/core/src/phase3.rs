@@ -10,7 +10,7 @@
 
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombFaultSim, CombTest};
+use atspeed_sim::{CombTest, ParallelFsim, SimConfig};
 
 use crate::test::ScanTest;
 
@@ -25,12 +25,28 @@ pub struct Phase3Result {
     pub still_undetected: Vec<FaultId>,
 }
 
-/// Selects single-vector tests from `candidates` covering `undetected`.
+/// Selects single-vector tests from `candidates` covering `undetected`,
+/// single-threaded. See [`top_up_with`] for the parallel variant.
 pub fn top_up(
     nl: &Netlist,
     universe: &FaultUniverse,
     candidates: &[CombTest],
     undetected: &[FaultId],
+) -> Phase3Result {
+    top_up_with(nl, universe, candidates, undetected, SimConfig::default())
+}
+
+/// Selects single-vector tests from `candidates` covering `undetected`.
+///
+/// The detection matrix — the expensive part — is fault-sharded across
+/// `sim.threads` workers; the greedy selection over the matrix is
+/// deterministic, so the result is identical at any thread count.
+pub fn top_up_with(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    candidates: &[CombTest],
+    undetected: &[FaultId],
+    sim: SimConfig,
 ) -> Phase3Result {
     if undetected.is_empty() || candidates.is_empty() {
         return Phase3Result {
@@ -39,9 +55,8 @@ pub fn top_up(
             still_undetected: undetected.to_vec(),
         };
     }
-    let mut sim = CombFaultSim::new(nl);
     // Full detection matrix (no dropping): rows = faults, bit t = test t.
-    let matrix = sim.detect_matrix(candidates, undetected, universe);
+    let matrix = ParallelFsim::new(nl, sim).detect_matrix(candidates, undetected, universe);
     let n_of = |row: &Vec<u64>| -> usize { row.iter().map(|w| w.count_ones() as usize).sum() };
     let last_of = |row: &Vec<u64>| -> Option<usize> {
         for (w, &word) in row.iter().enumerate().rev() {

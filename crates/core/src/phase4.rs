@@ -16,7 +16,7 @@
 
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombTest, SeqFaultSim, Sequence, V3};
+use atspeed_sim::{CombTest, ParallelFsim, Sequence, SimConfig, V3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,12 +86,27 @@ pub fn combine_tests_with(
     targets: &[FaultId],
     transfer: Option<TransferConfig>,
 ) -> (TestSet, StaticCompactionStats) {
+    combine_tests_sim(nl, universe, set, targets, transfer, SimConfig::default())
+}
+
+/// [`combine_tests_with`] with the coverage checks fault-sharded across
+/// `sim.threads` workers. Each check is an independent fault simulation of
+/// one candidate combination, so the accepted combinations — and therefore
+/// the final set — are identical at any thread count.
+pub fn combine_tests_sim(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    set: &TestSet,
+    targets: &[FaultId],
+    transfer: Option<TransferConfig>,
+    sim: SimConfig,
+) -> (TestSet, StaticCompactionStats) {
     let mut stats = StaticCompactionStats::default();
     if set.len() <= 1 {
         return (set.clone(), stats);
     }
     let mut rng = StdRng::seed_from_u64(transfer.map_or(0, |t| t.seed));
-    let mut fsim = SeqFaultSim::new(nl);
+    let fsim = ParallelFsim::new(nl, sim);
 
     // Assign each target fault to the first test that detects it.
     let mut entries: Vec<Option<(ScanTest, Vec<FaultId>)>> = Vec::with_capacity(set.len());
@@ -147,14 +162,14 @@ pub fn combine_tests_with(
                 let mut assigned: Vec<FaultId> = fi.clone();
                 assigned.extend(fj.iter().copied());
                 stats.attempts += 1;
-                let check = |fsim: &mut SeqFaultSim<'_>, c: &ScanTest, a: &[FaultId]| {
+                let check = |c: &ScanTest, a: &[FaultId]| {
                     a.is_empty()
                         || fsim
                             .detect(&c.si, &c.seq, a, universe, true)
                             .iter()
                             .all(|&d| d)
                 };
-                let mut ok = check(&mut fsim, &combined, &assigned);
+                let mut ok = check(&combined, &assigned);
                 // [7]-style fallback: steer the state with a short transfer
                 // sequence R, profitable while L(R) < N_SV.
                 if !ok {
@@ -174,7 +189,7 @@ pub fn combine_tests_with(
                                     ti.seq.concat(&r).concat(&tj.seq),
                                 );
                                 stats.attempts += 1;
-                                if check(&mut fsim, &with_r, &assigned) {
+                                if check(&with_r, &assigned) {
                                     combined = with_r;
                                     ok = true;
                                     stats.transfer_combinations += 1;

@@ -11,12 +11,12 @@ use atspeed_atpg::comb_tset::{self, CombTsetConfig};
 use atspeed_atpg::{directed_t0, property_t0, random_t0, DirectedConfig, PropertyConfig};
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombTest, Sequence};
+use atspeed_sim::{stats, CombTest, Sequence, SimConfig};
 
 use crate::error::CoreError;
 use crate::iterate::{build_tau_seq, IterateConfig};
-use crate::phase3::top_up;
-use crate::phase4::combine_tests;
+use crate::phase3::top_up_with;
+use crate::phase4::combine_tests_sim;
 use crate::test::{AtSpeedStats, ScanTest, TestSet};
 
 /// Where the initial test sequence `T_0` comes from.
@@ -50,11 +50,16 @@ pub struct Pipeline<'a> {
     run_phase4: bool,
     provided_t0: Option<Sequence>,
     provided_c: Option<Vec<CombTest>>,
+    sim: SimConfig,
 }
 
 impl<'a> Pipeline<'a> {
     /// Creates a pipeline for `nl` with default settings (directed `T_0`
     /// capped at 1024 vectors, Phase 4 enabled).
+    ///
+    /// Threading defaults to [`SimConfig::from_env`] (`SIM_THREADS`, serial
+    /// when unset); every stage produces identical results at any thread
+    /// count, so the environment only changes wall time.
     pub fn new(nl: &'a Netlist) -> Self {
         Pipeline {
             nl,
@@ -65,7 +70,15 @@ impl<'a> Pipeline<'a> {
             run_phase4: true,
             provided_t0: None,
             provided_c: None,
+            sim: SimConfig::from_env(),
         }
+    }
+
+    /// Overrides the threading configuration for every stage (combinational
+    /// set generation, `T_0` generation, Phases 1–4).
+    pub fn sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
     }
 
     /// Sets the `T_0` source.
@@ -124,11 +137,13 @@ impl<'a> Pipeline<'a> {
         let targets: Vec<FaultId> = universe.representatives().to_vec();
 
         // Combinational test set C.
+        stats::set_phase("comb-gen");
         let (comb_tests, untestable) = match self.provided_c {
             Some(c) => (c, Vec::new()),
             None => {
                 let mut cfg = self.comb_cfg.clone();
                 cfg.seed = cfg.seed.wrapping_add(self.seed.wrapping_mul(0x9e37_79b9));
+                cfg.sim = self.sim;
                 let set = comb_tset::generate(nl, &universe, &cfg)?;
                 (set.tests, set.untestable)
             }
@@ -138,6 +153,7 @@ impl<'a> Pipeline<'a> {
         }
 
         // T_0.
+        stats::set_phase("t0-gen");
         let t0 = match self.provided_t0 {
             Some(t0) => t0,
             None => match self.t0_source {
@@ -148,6 +164,7 @@ impl<'a> Pipeline<'a> {
                     &DirectedConfig {
                         max_len,
                         seed: self.seed.wrapping_add(11),
+                        sim: self.sim,
                         ..DirectedConfig::default()
                     },
                 ),
@@ -170,16 +187,20 @@ impl<'a> Pipeline<'a> {
         let t0_len = t0.len();
 
         // Phases 1–2, iterated.
-        let tau = build_tau_seq(nl, &universe, &t0, &comb_tests, &targets, self.iterate_cfg)
+        stats::set_phase("phase1-2");
+        let mut iterate_cfg = self.iterate_cfg;
+        iterate_cfg.phase1.sim = self.sim;
+        let tau = build_tau_seq(nl, &universe, &t0, &comb_tests, &targets, iterate_cfg)
             .ok_or(CoreError::NoScanInCandidates)?;
 
         // Phase 3: top up to complete coverage.
+        stats::set_phase("phase3");
         let undetected: Vec<FaultId> = targets
             .iter()
             .filter(|f| !tau.detected.contains(f))
             .copied()
             .collect();
-        let p3 = top_up(nl, &universe, &comb_tests, &undetected);
+        let p3 = top_up_with(nl, &universe, &comb_tests, &undetected, self.sim);
 
         let mut tests: Vec<ScanTest> = Vec::with_capacity(1 + p3.added.len());
         tests.push(tau.test.clone());
@@ -188,16 +209,25 @@ impl<'a> Pipeline<'a> {
         let final_detected_faults: usize = targets.len() - p3.still_undetected.len();
 
         // Phase 4: static compaction of the proposed set.
+        stats::set_phase("phase4");
         let detected_by_set: Vec<FaultId> = targets
             .iter()
             .filter(|f| !p3.still_undetected.contains(f))
             .copied()
             .collect();
         let (compacted_set, _) = if self.run_phase4 {
-            combine_tests(nl, &universe, &initial_set, &detected_by_set)
+            combine_tests_sim(
+                nl,
+                &universe,
+                &initial_set,
+                &detected_by_set,
+                None,
+                self.sim,
+            )
         } else {
             (initial_set.clone(), Default::default())
         };
+        stats::set_phase("post-pipeline");
 
         let n_sv = nl.num_ffs();
         Ok(PipelineResult {

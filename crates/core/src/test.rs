@@ -4,7 +4,7 @@ use std::fmt;
 
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{CombTest, SeqFaultSim, SeqSim, Sequence, State, V3};
+use atspeed_sim::{CombTest, ParallelFsim, SeqFaultSim, SeqSim, Sequence, SimConfig, State, V3};
 
 /// A scan-based test `τ = (SI, T)`: a scan-in state followed by a
 /// primary-input sequence applied at speed. The expected scan-out vector
@@ -164,31 +164,24 @@ impl TestSet {
     }
 
     /// Which of `faults` the whole set detects (union over tests, with
-    /// fault dropping across tests).
+    /// fault dropping across tests), single-threaded.
     pub fn detects(&self, nl: &Netlist, universe: &FaultUniverse, faults: &[FaultId]) -> Vec<bool> {
-        let mut fsim = SeqFaultSim::new(nl);
-        let mut detected = vec![false; faults.len()];
-        let mut alive: Vec<usize> = (0..faults.len()).collect();
-        for t in &self.tests {
-            if alive.is_empty() {
-                break;
-            }
-            let ids: Vec<FaultId> = alive.iter().map(|&k| faults[k]).collect();
-            let det = fsim.detect(&t.si, &t.seq, &ids, universe, true);
-            alive = alive
-                .iter()
-                .zip(det.iter())
-                .filter_map(|(&k, &d)| {
-                    if d {
-                        detected[k] = true;
-                        None
-                    } else {
-                        Some(k)
-                    }
-                })
-                .collect();
-        }
-        detected
+        self.detects_with(nl, universe, faults, SimConfig::default())
+    }
+
+    /// Like [`TestSet::detects`], with tests sharded across `sim.threads`
+    /// workers that drop faults through a shared detection bitmap. The
+    /// union over tests is order-independent, so the detected set is
+    /// identical at any thread count.
+    pub fn detects_with(
+        &self,
+        nl: &Netlist,
+        universe: &FaultUniverse,
+        faults: &[FaultId],
+        sim: SimConfig,
+    ) -> Vec<bool> {
+        let runs: Vec<(&State, &Sequence)> = self.tests.iter().map(|t| (&t.si, &t.seq)).collect();
+        ParallelFsim::new(nl, sim).detect_union(&runs, faults, universe, true)
     }
 
     /// Count of detected faults among `faults`.

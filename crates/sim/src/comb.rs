@@ -170,6 +170,7 @@ impl<'a> CombSim<'a> {
     /// Panics if `vals` is shorter than the netlist's net count.
     pub fn eval(&self, vals: &mut [W3]) {
         assert!(vals.len() >= self.nl.num_nets());
+        crate::stats::add_gate_evals(self.nl.num_gates() as u64);
         let mut ins: Vec<W3> = Vec::with_capacity(8);
         for &gid in self.nl.topo_order() {
             let g = self.nl.gate(gid);
@@ -190,6 +191,7 @@ impl<'a> CombSim<'a> {
     /// Panics if `vals` is shorter than the netlist's net count.
     pub fn eval_with(&self, vals: &mut [W3], ov: &Overrides) {
         assert!(vals.len() >= self.nl.num_nets());
+        crate::stats::add_gate_evals(self.nl.num_gates() as u64);
         for &net in &ov.touched_stems {
             if !matches!(self.nl.driver(net), Driver::Gate(_)) {
                 vals[net.index()] = ov.apply_stem(net, vals[net.index()]);

@@ -92,6 +92,7 @@ impl<'a> CombFaultSim<'a> {
             !tests.is_empty() && tests.len() <= 64,
             "1..=64 tests per block"
         );
+        crate::stats::add_invocation();
         self.seed_and_eval_good(tests);
         faults
             .iter()
@@ -107,6 +108,7 @@ impl<'a> CombFaultSim<'a> {
         faults: &[FaultId],
         universe: &FaultUniverse,
     ) -> Vec<bool> {
+        crate::stats::add_invocation();
         let mut detected = vec![false; faults.len()];
         let mut alive: Vec<usize> = (0..faults.len()).collect();
         for block in tests.chunks(64) {
@@ -114,6 +116,7 @@ impl<'a> CombFaultSim<'a> {
                 break;
             }
             self.seed_and_eval_good(block);
+            let before = alive.len();
             alive.retain(|&k| {
                 let mask = self.propagate_one(faults[k], universe);
                 if mask != 0 {
@@ -123,6 +126,7 @@ impl<'a> CombFaultSim<'a> {
                     true
                 }
             });
+            crate::stats::add_dropped((before - alive.len()) as u64);
         }
         detected
     }
@@ -136,6 +140,7 @@ impl<'a> CombFaultSim<'a> {
         faults: &[FaultId],
         universe: &FaultUniverse,
     ) -> Vec<Vec<u64>> {
+        crate::stats::add_invocation();
         let words = tests.len().div_ceil(64);
         let mut matrix = vec![vec![0u64; words]; faults.len()];
         for (b, block) in tests.chunks(64).enumerate() {
@@ -228,6 +233,7 @@ impl<'a> CombFaultSim<'a> {
         for net in self.touched.drain(..) {
             self.has_fval[net.index()] = false;
         }
+        crate::stats::add_gate_evals(self.processed.len() as u64);
         for gid in self.processed.drain(..) {
             self.in_queue[gid.index()] = false;
         }

@@ -202,6 +202,7 @@ impl<'a> SeqFaultSim<'a> {
         universe: &FaultUniverse,
         observe: FinalObserve<'_>,
     ) -> Vec<bool> {
+        crate::stats::add_invocation();
         let mut detected = vec![false; faults.len()];
         for (chunk_idx, chunk) in faults.chunks(FAULTS_PER_PASS).enumerate() {
             let base = chunk_idx * FAULTS_PER_PASS;
@@ -260,6 +261,7 @@ impl<'a> SeqFaultSim<'a> {
         faults: &[FaultId],
         universe: &FaultUniverse,
     ) -> Vec<DetectionProfile> {
+        crate::stats::add_invocation();
         let mut profiles = vec![DetectionProfile::default(); faults.len()];
         for (chunk_idx, chunk) in faults.chunks(FAULTS_PER_PASS).enumerate() {
             let base = chunk_idx * FAULTS_PER_PASS;

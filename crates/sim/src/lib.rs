@@ -16,7 +16,15 @@
 //! - [`fsim_seq`] — parallel-fault sequential fault simulation (good machine
 //!   in slot 0, up to 63 faulty machines per pass) producing the *detection
 //!   profiles* (earliest primary-output detection time, per-cycle state
-//!   difference sets) that Phase 1 of the paper consumes.
+//!   difference sets) that Phase 1 of the paper consumes;
+//! - [`parallel`] — [`ParallelFsim`], a multi-threaded front end that
+//!   shards faults (or tests, with cross-partition fault dropping through
+//!   a shared atomic bitmap) across `std::thread::scope` workers behind a
+//!   [`SimConfig`]; `threads = 1` reproduces the serial engines
+//!   bit-for-bit;
+//! - [`stats`] — per-phase instrumentation counters (gate evaluations,
+//!   fault-sim invocations, faults dropped, wall time per partition)
+//!   snapshotted into a [`SimReport`].
 //!
 //! # Example
 //!
@@ -39,6 +47,8 @@ pub mod fault;
 pub mod fsim_comb;
 pub mod fsim_seq;
 pub mod logic;
+pub mod parallel;
+pub mod stats;
 pub mod transition;
 pub mod vcd;
 pub mod vectors;
@@ -48,5 +58,7 @@ pub use fault::{Fault, FaultId, FaultSite, FaultUniverse};
 pub use fsim_comb::{CombFaultSim, CombTest};
 pub use fsim_seq::{DetectionProfile, FinalObserve, SeqFaultSim, SeqSim};
 pub use logic::{V3, W3};
+pub use parallel::{ParallelFsim, SimConfig};
+pub use stats::{PhaseStats, SimReport};
 pub use transition::{TransitionFault, TransitionFaultSim};
 pub use vectors::{Sequence, State};

@@ -1,0 +1,301 @@
+//! Lightweight per-phase instrumentation for the simulation substrate.
+//!
+//! The engines in this crate ([`comb`](crate::comb),
+//! [`fsim_comb`](crate::fsim_comb), [`fsim_seq`](crate::fsim_seq),
+//! [`parallel`](crate::parallel)) report three counters — gate evaluations,
+//! fault-simulation invocations, and faults dropped — plus wall time per
+//! parallel partition. Counts accumulate in thread-local cells (one
+//! unsynchronized add per engine call, so the hot loops stay hot) and are
+//! merged into a process-wide registry keyed by the current *phase* label.
+//!
+//! The orchestration layer names the phases: call [`set_phase`] around each
+//! pipeline stage, then take a [`SimReport`] snapshot with [`report`] when
+//! done. Worker threads must call [`flush`] before they exit so their
+//! counts are not lost.
+//!
+//! Counter semantics:
+//!
+//! - **gate evaluations** — single-gate, 64-slot-wide evaluations: a full
+//!   levelized pass counts one per gate, an event-driven fault propagation
+//!   counts only the gates it touched;
+//! - **invocations** — engine-level fault-simulation entry points
+//!   (`detect*`, `profiles`). A parallel call that fans out to `P`
+//!   partitions counts once per partition;
+//! - **faults dropped** — faults removed from further simulation by
+//!   detection, including cross-partition drops through the shared bitmap.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static GATE_EVALS: Cell<u64> = const { Cell::new(0) };
+    static INVOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static DROPPED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counters merged for one phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Single-gate 64-slot-wide evaluations.
+    pub gate_evals: u64,
+    /// Engine-level fault-simulation invocations.
+    pub fsim_invocations: u64,
+    /// Faults dropped after detection.
+    pub faults_dropped: u64,
+    /// Wall time attributed to the phase.
+    pub wall: Duration,
+    /// Parallel partitions run during the phase.
+    pub partitions: u64,
+    /// Summed wall time across those partitions.
+    pub partition_wall_total: Duration,
+    /// Wall time of the slowest partition (the parallel critical path).
+    pub partition_wall_max: Duration,
+}
+
+struct Registry {
+    phases: BTreeMap<String, PhaseStats>,
+    current: String,
+    phase_started: Option<Instant>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let reg = guard.get_or_insert_with(|| Registry {
+        phases: BTreeMap::new(),
+        current: "unattributed".to_string(),
+        phase_started: None,
+    });
+    f(reg)
+}
+
+/// Adds `n` gate evaluations to this thread's pending counts.
+#[inline]
+pub fn add_gate_evals(n: u64) {
+    GATE_EVALS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Adds one fault-simulation invocation to this thread's pending counts.
+#[inline]
+pub fn add_invocation() {
+    INVOCATIONS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Adds `n` dropped faults to this thread's pending counts.
+#[inline]
+pub fn add_dropped(n: u64) {
+    DROPPED.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Merges this thread's pending counts into the current phase.
+///
+/// Worker threads must call this before exiting; the orchestrating thread
+/// is flushed automatically by [`set_phase`] and [`report`].
+pub fn flush() {
+    let ge = GATE_EVALS.with(|c| c.replace(0));
+    let inv = INVOCATIONS.with(|c| c.replace(0));
+    let dr = DROPPED.with(|c| c.replace(0));
+    if ge == 0 && inv == 0 && dr == 0 {
+        return;
+    }
+    with_registry(|reg| {
+        let entry = reg.phases.entry(reg.current.clone()).or_default();
+        entry.gate_evals += ge;
+        entry.fsim_invocations += inv;
+        entry.faults_dropped += dr;
+    });
+}
+
+/// Records one parallel partition's wall time under the current phase.
+pub fn record_partition(wall: Duration) {
+    with_registry(|reg| {
+        let entry = reg.phases.entry(reg.current.clone()).or_default();
+        entry.partitions += 1;
+        entry.partition_wall_total += wall;
+        entry.partition_wall_max = entry.partition_wall_max.max(wall);
+    });
+}
+
+/// Ends the current phase and starts attributing counts to `name`.
+///
+/// Flushes the calling thread's pending counts to the *old* phase first
+/// and charges the old phase its elapsed wall time.
+pub fn set_phase(name: &str) {
+    flush();
+    with_registry(|reg| {
+        let now = Instant::now();
+        if let Some(started) = reg.phase_started.take() {
+            let entry = reg.phases.entry(reg.current.clone()).or_default();
+            entry.wall += now - started;
+        }
+        reg.current = name.to_string();
+        reg.phase_started = Some(now);
+    });
+}
+
+/// Clears all recorded stats and returns phase attribution to the default.
+pub fn reset() {
+    GATE_EVALS.with(|c| c.set(0));
+    INVOCATIONS.with(|c| c.set(0));
+    DROPPED.with(|c| c.set(0));
+    with_registry(|reg| {
+        reg.phases.clear();
+        reg.current = "unattributed".to_string();
+        reg.phase_started = None;
+    });
+}
+
+/// Takes a snapshot of everything recorded since the last [`reset`].
+///
+/// Flushes the calling thread and closes out the running phase timer (the
+/// phase keeps accumulating if more work follows).
+pub fn report() -> SimReport {
+    flush();
+    with_registry(|reg| {
+        if let Some(started) = reg.phase_started {
+            let now = Instant::now();
+            let entry = reg.phases.entry(reg.current.clone()).or_default();
+            entry.wall += now - started;
+            reg.phase_started = Some(now);
+        }
+        SimReport {
+            phases: reg
+                .phases
+                .iter()
+                .filter(|(_, s)| **s != PhaseStats::default())
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    })
+}
+
+/// A snapshot of per-phase simulation counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Stats per phase label, ordered by label.
+    pub phases: Vec<(String, PhaseStats)>,
+}
+
+impl SimReport {
+    /// Sums the counters across phases.
+    pub fn totals(&self) -> PhaseStats {
+        let mut t = PhaseStats::default();
+        for (_, s) in &self.phases {
+            t.gate_evals += s.gate_evals;
+            t.fsim_invocations += s.fsim_invocations;
+            t.faults_dropped += s.faults_dropped;
+            t.wall += s.wall;
+            t.partitions += s.partitions;
+            t.partition_wall_total += s.partition_wall_total;
+            t.partition_wall_max = t.partition_wall_max.max(s.partition_wall_max);
+        }
+        t
+    }
+
+    /// Renders the report as a JSON object (phase label → counters).
+    ///
+    /// Hand-rolled because the workspace carries no serialization
+    /// dependency; labels are restricted to identifier-like strings by the
+    /// callers, but quotes and backslashes are escaped anyway.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n");
+        for (i, (name, s)) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "  \"{}\": {{\"gate_evals\": {}, \"fsim_invocations\": {}, \
+                 \"faults_dropped\": {}, \"wall_us\": {}, \"partitions\": {}, \
+                 \"partition_wall_total_us\": {}, \"partition_wall_max_us\": {}}}{}\n",
+                esc(name),
+                s.gate_evals,
+                s.fsim_invocations,
+                s.faults_dropped,
+                s.wall.as_micros(),
+                s.partitions,
+                s.partition_wall_total.as_micros(),
+                s.partition_wall_max.as_micros(),
+                if i + 1 == self.phases.len() { "" } else { "," }
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<18} {:>14} {:>8} {:>9} {:>10} {:>6} {:>10}",
+            "phase", "gate evals", "fsims", "dropped", "wall", "parts", "part max"
+        )?;
+        for (name, s) in &self.phases {
+            writeln!(
+                f,
+                "{:<18} {:>14} {:>8} {:>9} {:>10.2?} {:>6} {:>10.2?}",
+                name,
+                s.gate_evals,
+                s.fsim_invocations,
+                s.faults_dropped,
+                s.wall,
+                s.partitions,
+                s.partition_wall_max
+            )?;
+        }
+        let t = self.totals();
+        writeln!(
+            f,
+            "{:<18} {:>14} {:>8} {:>9} {:>10.2?} {:>6} {:>10.2?}",
+            "total",
+            t.gate_evals,
+            t.fsim_invocations,
+            t.faults_dropped,
+            t.wall,
+            t.partitions,
+            t.partition_wall_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so exercise everything in one test
+    // to avoid cross-test interference under the parallel test harness.
+    #[test]
+    fn counters_merge_into_phases() {
+        reset();
+        set_phase("alpha");
+        add_gate_evals(10);
+        add_invocation();
+        add_dropped(3);
+        set_phase("beta");
+        add_gate_evals(5);
+        record_partition(Duration::from_millis(2));
+        record_partition(Duration::from_millis(4));
+        let r = report();
+        let alpha = &r.phases.iter().find(|(n, _)| n == "alpha").unwrap().1;
+        assert_eq!(alpha.gate_evals, 10);
+        assert_eq!(alpha.fsim_invocations, 1);
+        assert_eq!(alpha.faults_dropped, 3);
+        let beta = &r.phases.iter().find(|(n, _)| n == "beta").unwrap().1;
+        assert_eq!(beta.gate_evals, 5);
+        assert_eq!(beta.partitions, 2);
+        assert_eq!(beta.partition_wall_max, Duration::from_millis(4));
+        assert_eq!(beta.partition_wall_total, Duration::from_millis(6),);
+        let t = r.totals();
+        assert_eq!(t.gate_evals, 15);
+        let json = r.to_json();
+        assert!(json.contains("\"alpha\""));
+        assert!(json.contains("\"gate_evals\": 10"));
+        assert!(!format!("{r}").is_empty());
+        reset();
+        assert!(report().phases.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for [`ParallelFsim`]: at every thread count, every
+//! parallel operation reports exactly the detected-fault sets of the
+//! single-threaded engines on randomly synthesized circuits.
+//!
+//! This is the determinism contract the whole workspace relies on —
+//! `SIM_THREADS` may change wall time, never results.
+
+use atspeed_circuit::synth::{generate, SynthSpec};
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{
+    CombFaultSim, CombTest, ParallelFsim, SeqFaultSim, Sequence, SimConfig, State, V3,
+};
+use proptest::prelude::*;
+
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..6, 1usize..4, 2usize..8, 10usize..80, any::<u64>()).prop_map(
+        |(pis, pos, ffs, gates, seed)| {
+            generate(&SynthSpec::new("prop", pis, pos, ffs, gates, seed)).unwrap()
+        },
+    )
+}
+
+/// Deterministic pseudo-random bit stream (cheap xorshift, test-local).
+struct Bits(u64);
+
+impl Bits {
+    fn next(&mut self) -> bool {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0 & 1 == 1
+    }
+
+    fn v3(&mut self) -> V3 {
+        V3::from_bool(self.next())
+    }
+}
+
+fn comb_tests(nl: &Netlist, n: usize, bits: &mut Bits) -> Vec<CombTest> {
+    (0..n)
+        .map(|_| {
+            CombTest::new(
+                (0..nl.num_ffs()).map(|_| bits.v3()).collect(),
+                (0..nl.num_pis()).map(|_| bits.v3()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn sequence(nl: &Netlist, len: usize, bits: &mut Bits) -> Sequence {
+    Sequence::from_vectors(
+        (0..len)
+            .map(|_| (0..nl.num_pis()).map(|_| bits.v3()).collect())
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Combinational ops: fault-sharded (`detect_block`, `detect_matrix`)
+    /// and test-sharded with the shared detection bitmap (`detect_all`)
+    /// all match the serial engine exactly.
+    #[test]
+    fn parallel_comb_matches_serial(
+        nl in arb_netlist(),
+        seed in any::<u64>(),
+        threads in 2usize..6,
+        num_tests in 1usize..150,
+    ) {
+        let u = FaultUniverse::full(&nl);
+        let faults: Vec<FaultId> = u.representatives().to_vec();
+        let mut bits = Bits(seed | 1);
+        let tests = comb_tests(&nl, num_tests, &mut bits);
+
+        let mut serial = CombFaultSim::new(&nl);
+        let par = ParallelFsim::new(&nl, SimConfig::with_threads(threads));
+
+        let block = &tests[..tests.len().min(64)];
+        prop_assert_eq!(
+            serial.detect_block(block, &faults, &u),
+            par.detect_block(block, &faults, &u)
+        );
+        prop_assert_eq!(
+            serial.detect_all(&tests, &faults, &u),
+            par.detect_all(&tests, &faults, &u)
+        );
+        prop_assert_eq!(
+            serial.detect_matrix(&tests, &faults, &u),
+            par.detect_matrix(&tests, &faults, &u)
+        );
+    }
+
+    /// Sequential ops: fault-sharded `detect`/`profiles` and the
+    /// test-sharded `detect_union` report the serial detected sets.
+    #[test]
+    fn parallel_seq_matches_serial(
+        nl in arb_netlist(),
+        seed in any::<u64>(),
+        threads in 2usize..6,
+        seq_len in 1usize..40,
+        chunk in 0usize..4,
+    ) {
+        let u = FaultUniverse::full(&nl);
+        let faults: Vec<FaultId> = u.representatives().to_vec();
+        let mut bits = Bits(seed | 1);
+        let seq = sequence(&nl, seq_len, &mut bits);
+        let init: State = (0..nl.num_ffs()).map(|_| bits.v3()).collect();
+
+        let mut serial = SeqFaultSim::new(&nl);
+        let cfg = SimConfig { threads, chunk_size: chunk };
+        let par = ParallelFsim::new(&nl, cfg);
+
+        prop_assert_eq!(
+            serial.detect(&init, &seq, &faults, &u, true),
+            par.detect(&init, &seq, &faults, &u, true)
+        );
+        let sp = serial.profiles(&init, &seq, &faults, &u);
+        let pp = par.profiles(&init, &seq, &faults, &u);
+        prop_assert_eq!(sp.len(), pp.len());
+        for (a, b) in sp.iter().zip(pp.iter()) {
+            prop_assert_eq!(a.earliest_detection(), b.earliest_detection());
+        }
+
+        // A small batch of scan tests for the union path.
+        let runs_owned: Vec<(State, Sequence)> = (0..4)
+            .map(|_| {
+                let si: State = (0..nl.num_ffs()).map(|_| bits.v3()).collect();
+                let s = sequence(&nl, 1 + seq_len / 2, &mut bits);
+                (si, s)
+            })
+            .collect();
+        let runs: Vec<(&State, &Sequence)> =
+            runs_owned.iter().map(|(s, q)| (s, q)).collect();
+        let serial_union =
+            ParallelFsim::new(&nl, SimConfig::default()).detect_union(&runs, &faults, &u, true);
+        prop_assert_eq!(
+            serial_union,
+            par.detect_union(&runs, &faults, &u, true)
+        );
+    }
+}

@@ -49,7 +49,11 @@ fn main() {
             "  #{}: {}{}",
             i + 1,
             universe.fault(cand.fault).describe(&nl),
-            if cand.fault == defect { "   <-- injected" } else { "" }
+            if cand.fault == defect {
+                "   <-- injected"
+            } else {
+                ""
+            }
         );
     }
     assert!(

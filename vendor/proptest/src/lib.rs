@@ -1,0 +1,142 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses: the `proptest!` runner macro, `prop_assert!` /
+//! `prop_assert_eq!`, `prop_oneof!`, `Just`, `any`, integer-range and tuple
+//! strategies, `.prop_map`, and `prop::collection::vec`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation instead of the real crate.
+//! Differences from real proptest, deliberate for this use:
+//!
+//! - **Deterministic**: every run uses a fixed RNG seed (overridable with
+//!   the `PROPTEST_SEED` env var), so CI results are reproducible.
+//! - **No shrinking**: a failing case reports its case index and the run
+//!   seed instead of a minimized input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirror of the `prop` path alias exposed by the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs each contained property function against generated inputs.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in strategy_a(), y in 0usize..10) { ... }
+/// }
+/// ```
+///
+/// The `#[test]` attribute is written by the caller (as with real
+/// proptest) and passed through verbatim — the expansion adds none of its
+/// own, so a function without `#[test]` is not registered with the
+/// harness.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ($($strat,)+);
+                runner
+                    .run(&strategy, |($($arg,)+)| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })
+                    .unwrap_or_else(|e| panic!("{}", e));
+            }
+        )*
+    };
+}
+
+/// Fails the current test case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Builds a strategy that picks uniformly among the listed strategies,
+/// which must all produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::union_arm($arm)),+])
+    };
+}

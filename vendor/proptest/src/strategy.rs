@@ -1,0 +1,140 @@
+//! Value-generation strategies: the [`Strategy`] trait and the
+//! combinators this workspace uses (`Just`, ranges, tuples, map, union).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type from a test RNG.
+///
+/// Unlike real proptest there is no value tree and no shrinking; a
+/// strategy is just a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Object-safe sampling facade so [`Union`] can hold strategies of
+/// differing concrete types that share a value type.
+pub trait SampleDyn<T> {
+    /// Generates one value.
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> SampleDyn<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// Boxes one arm of a [`prop_oneof!`](crate::prop_oneof) union.
+pub fn union_arm<S>(strategy: S) -> Box<dyn SampleDyn<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// A strategy that picks uniformly among its arms.
+pub struct Union<T> {
+    arms: Vec<Box<dyn SampleDyn<T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn SampleDyn<T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample_dyn(rng)
+    }
+}

@@ -1,0 +1,105 @@
+//! The test runner: configuration, RNG, case errors, and the loop that
+//! drives a property over generated inputs.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default RNG seed; shared by every run so failures reproduce.
+const DEFAULT_SEED: u64 = 0x0173_5ac1_ddac_2001;
+
+/// The RNG handed to strategies.
+///
+/// Wraps the workspace's deterministic [`StdRng`]; the inner field is
+/// public so strategy impls can draw from it directly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying generator.
+    pub rng: StdRng,
+}
+
+/// Runner configuration (stand-in for `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this workspace's properties
+        // simulate whole netlists per case, so default lower and let
+        // call sites opt into more via `with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives a property over `config.cases` generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// A runner using the fixed default seed, overridable via the
+    /// `PROPTEST_SEED` environment variable.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner { config, seed }
+    }
+
+    /// Runs `test` against `config.cases` values drawn from `strategy`.
+    ///
+    /// Each case gets an RNG seeded from `(run seed, case index)`, so a
+    /// reported case index plus the run seed reproduces the input exactly.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng {
+                rng: StdRng::seed_from_u64(self.seed ^ (u64::from(case) << 32)),
+            };
+            let value = strategy.sample(&mut rng);
+            if let Err(e) = test(value) {
+                return Err(format!(
+                    "property failed at case {case}/{} (seed {:#x}; set PROPTEST_SEED to reproduce):\n{e}",
+                    self.config.cases, self.seed
+                ));
+            }
+        }
+        Ok(())
+    }
+}
