@@ -8,7 +8,7 @@
 //! complete: with an unbounded backtrack budget, exhausting the search space
 //! proves a fault combinationally untestable.
 
-use atspeed_circuit::{Driver, NetId, Netlist};
+use atspeed_circuit::{CompiledCircuit, Driver, NetId, Netlist};
 use atspeed_sim::fault::{Fault, FaultSite};
 use atspeed_sim::{CombTest, V3};
 
@@ -42,9 +42,14 @@ pub enum PodemOutcome {
 }
 
 /// PODEM test generator with reusable scratch state.
+///
+/// All value propagation (implication, D-frontier scan, X-path check) runs
+/// over the flat [`CompiledCircuit`] schedule and CSR pin spans; the netlist
+/// is only consulted for driver lookups during backtrace.
 #[derive(Debug)]
 pub struct Podem<'a> {
     nl: &'a Netlist,
+    cc: &'a CompiledCircuit,
     cfg: PodemConfig,
     /// Assignable inputs: primary inputs, then flip-flop Q nets.
     cinputs: Vec<NetId>,
@@ -60,19 +65,21 @@ pub struct Podem<'a> {
 impl<'a> Podem<'a> {
     /// Creates a generator for `nl`.
     pub fn new(nl: &'a Netlist, cfg: PodemConfig) -> Self {
-        let mut cinputs: Vec<NetId> = nl.pis().to_vec();
-        cinputs.extend(nl.ffs().iter().map(|ff| ff.q()));
-        let mut observables: Vec<NetId> = nl.pos().to_vec();
-        observables.extend(nl.ffs().iter().map(|ff| ff.d()));
+        let cc = nl.compiled();
+        let mut cinputs: Vec<NetId> = cc.pis().to_vec();
+        cinputs.extend(cc.ff_qs().iter().copied());
+        let mut observables: Vec<NetId> = cc.pos().to_vec();
+        observables.extend(cc.ff_ds().iter().copied());
         Podem {
             nl,
+            cc,
             cfg,
             assignment: vec![V3::X; cinputs.len()],
             cinputs,
-            good: vec![V3::X; nl.num_nets()],
-            faulty: vec![V3::X; nl.num_nets()],
+            good: vec![V3::X; cc.num_nets()],
+            faulty: vec![V3::X; cc.num_nets()],
             observables,
-            scoap: Scoap::compute(nl),
+            scoap: Scoap::compute_with(cc),
         }
     }
 
@@ -126,30 +133,30 @@ impl<'a> Podem<'a> {
     fn site_net(&self, fault: Fault) -> NetId {
         match fault.site {
             FaultSite::Stem(n) => n,
-            FaultSite::GatePin(g, p) => self.nl.gate(g).inputs()[p as usize],
-            FaultSite::FfPin(f) => self.nl.ff(f).d(),
-            FaultSite::PoPin(p) => self.nl.pos()[p.index()],
+            FaultSite::GatePin(g, p) => self.cc.inputs(g)[p as usize],
+            FaultSite::FfPin(f) => self.cc.ff_d(f),
+            FaultSite::PoPin(p) => self.cc.pos()[p.index()],
         }
     }
 
     fn simulate(&mut self, fault: Fault) {
-        let nl = self.nl;
+        let cc = self.cc;
         for (i, &net) in self.cinputs.iter().enumerate() {
             self.good[net.index()] = self.assignment[i];
             self.faulty[net.index()] = self.assignment[i];
         }
         if let FaultSite::Stem(net) = fault.site {
-            if !matches!(nl.driver(net), Driver::Gate(_)) {
+            if !cc.gate_driven(net) {
                 self.faulty[net.index()] = V3::from_bool(fault.stuck);
             }
         }
         let mut gins: [V3; 16] = [V3::X; 16];
         let mut fins: [V3; 16] = [V3::X; 16];
-        for &gid in nl.topo_order() {
-            let gate = nl.gate(gid);
-            let n = gate.inputs().len();
+        for &gid in cc.schedule() {
+            let ins = cc.inputs(gid);
+            let n = ins.len();
             debug_assert!(n <= 16, "gate fanin exceeds scratch size");
-            for (p, &inet) in gate.inputs().iter().enumerate() {
+            for (p, &inet) in ins.iter().enumerate() {
                 gins[p] = self.good[inet.index()];
                 let mut fv = self.faulty[inet.index()];
                 if let FaultSite::GatePin(fg, fp) = fault.site {
@@ -159,9 +166,9 @@ impl<'a> Podem<'a> {
                 }
                 fins[p] = fv;
             }
-            let out = gate.output();
-            self.good[out.index()] = V3::eval_gate(gate.kind(), &gins[..n]);
-            let mut fout = V3::eval_gate(gate.kind(), &fins[..n]);
+            let out = cc.output(gid);
+            self.good[out.index()] = V3::eval_gate(cc.kind(gid), &gins[..n]);
+            let mut fout = V3::eval_gate(cc.kind(gid), &fins[..n]);
             if let FaultSite::Stem(net) = fault.site {
                 if net == out {
                     fout = V3::from_bool(fault.stuck);
@@ -208,11 +215,10 @@ impl<'a> Podem<'a> {
     /// observable, and returns the objective that feeds it a
     /// non-controlling value.
     fn d_frontier_objective(&self, fault: Fault) -> Option<(NetId, bool)> {
-        let nl = self.nl;
+        let cc = self.cc;
         let xpath = self.xpath_reach();
-        for &gid in nl.topo_order() {
-            let gate = nl.gate(gid);
-            let out = gate.output();
+        for &gid in cc.schedule() {
+            let out = cc.output(gid);
             let og = self.good[out.index()];
             let of = self.faulty[out.index()];
             // Output already resolved in both machines: not frontier.
@@ -224,7 +230,7 @@ impl<'a> Podem<'a> {
             }
             let mut has_error_input = false;
             let mut x_input: Option<NetId> = None;
-            for (p, &inet) in gate.inputs().iter().enumerate() {
+            for (p, &inet) in cc.inputs(gid).iter().enumerate() {
                 let g = self.good[inet.index()];
                 let mut f = self.faulty[inet.index()];
                 if let FaultSite::GatePin(fg, fp) = fault.site {
@@ -240,7 +246,7 @@ impl<'a> Podem<'a> {
             }
             if has_error_input {
                 if let Some(inet) = x_input {
-                    let value = match gate.kind().controlling_value() {
+                    let value = match cc.kind(gid).controlling_value() {
                         Some(c) => !c,
                         // XOR-class and buffers propagate for any binary
                         // side value; prefer 0.
@@ -255,8 +261,8 @@ impl<'a> Podem<'a> {
 
     /// Nets from which an observable is reachable through composite-X nets.
     fn xpath_reach(&self) -> Vec<bool> {
-        let nl = self.nl;
-        let mut reach = vec![false; nl.num_nets()];
+        let cc = self.cc;
+        let mut reach = vec![false; cc.num_nets()];
         let is_x = |net: NetId| {
             !(self.good[net.index()].is_known() && self.faulty[net.index()].is_known())
         };
@@ -265,14 +271,13 @@ impl<'a> Podem<'a> {
                 reach[o.index()] = true;
             }
         }
-        // Single reverse-topological sweep (gates in reverse order).
-        for &gid in nl.topo_order().iter().rev() {
-            let gate = nl.gate(gid);
-            let out = gate.output();
+        // Single reverse-topological sweep (gates in reverse level order).
+        for &gid in cc.schedule().iter().rev() {
+            let out = cc.output(gid);
             if !reach[out.index()] || !is_x(out) {
                 continue;
             }
-            for &inet in gate.inputs() {
+            for &inet in cc.inputs(gid) {
                 if is_x(inet) {
                     reach[inet.index()] = true;
                 }
@@ -289,16 +294,15 @@ impl<'a> Podem<'a> {
                     return (self.assignment[i] == V3::X).then_some((i, value));
                 }
                 Driver::Ff(f) => {
-                    let idx = self.nl.num_pis() + f.index();
+                    let idx = self.cc.pis().len() + f.index();
                     return (self.assignment[idx] == V3::X).then_some((idx, value));
                 }
                 Driver::Gate(gid) => {
-                    let gate = self.nl.gate(gid);
-                    let kind = gate.kind();
+                    let kind = self.cc.kind(gid);
                     let base = if kind.inverts() { !value } else { value };
                     match kind {
                         atspeed_circuit::GateKind::Not | atspeed_circuit::GateKind::Buf => {
-                            net = gate.inputs()[0];
+                            net = self.cc.inputs(gid)[0];
                             value = base;
                         }
                         atspeed_circuit::GateKind::Xor | atspeed_circuit::GateKind::Xnor => {
@@ -306,7 +310,7 @@ impl<'a> Podem<'a> {
                             // aim for the parity implied by the known inputs.
                             let mut chosen: Option<NetId> = None;
                             let mut parity = false;
-                            for &inet in gate.inputs() {
+                            for &inet in self.cc.inputs(gid) {
                                 match self.good[inet.index()] {
                                     V3::X => {
                                         let cost =
@@ -345,7 +349,7 @@ impl<'a> Podem<'a> {
                             // inputs must be non-controlling, take the
                             // hardest first so infeasible goals fail fast.
                             let mut chosen: Option<NetId> = None;
-                            for &inet in gate.inputs() {
+                            for &inet in self.cc.inputs(gid) {
                                 if self.good[inet.index()] != V3::X {
                                     continue;
                                 }

@@ -19,7 +19,7 @@
 //! *most expensive* input is assigned first so that infeasible objectives
 //! fail fast.
 
-use atspeed_circuit::{Driver, GateKind, Netlist, Sink};
+use atspeed_circuit::{CompiledCircuit, GateKind, Netlist};
 
 /// SCOAP measures for every net of a netlist.
 #[derive(Debug, Clone)]
@@ -36,21 +36,26 @@ const INF: u32 = u32::MAX / 4;
 impl Scoap {
     /// Computes the measures for `nl` over the full-scan view.
     pub fn compute(nl: &Netlist) -> Self {
-        let n = nl.num_nets();
+        Self::compute_with(nl.compiled())
+    }
+
+    /// [`Scoap::compute`] over a pre-built compiled view; both passes walk
+    /// the flat level schedule and CSR pin spans.
+    pub fn compute_with(cc: &CompiledCircuit) -> Self {
+        let n = cc.num_nets();
         let mut cc0 = vec![INF; n];
         let mut cc1 = vec![INF; n];
         // Sources: primary inputs and (scanned) flip-flop outputs cost 1.
-        for net in nl.net_ids() {
-            if !matches!(nl.driver(net), Driver::Gate(_)) {
-                cc0[net.index()] = 1;
-                cc1[net.index()] = 1;
+        for i in 0..n {
+            if !cc.gate_driven(atspeed_circuit::NetId::from_index(i)) {
+                cc0[i] = 1;
+                cc1[i] = 1;
             }
         }
         // Forward pass in levelized order.
-        for &gid in nl.topo_order() {
-            let gate = nl.gate(gid);
-            let ins = gate.inputs();
-            let (c_out0, c_out1) = match gate.kind() {
+        for &gid in cc.schedule() {
+            let ins = cc.inputs(gid);
+            let (c_out0, c_out1) = match cc.kind(gid) {
                 GateKind::And | GateKind::Nand => {
                     // Output base-0: any input 0; base-1: all inputs 1.
                     let any0 = ins.iter().map(|i| cc0[i.index()]).min().unwrap_or(INF);
@@ -79,8 +84,8 @@ impl Scoap {
                     cc1[ins[0].index()].saturating_add(1),
                 ),
             };
-            let out = gate.output().index();
-            if gate.kind().inverts() {
+            let out = cc.output(gid).index();
+            if cc.kind(gid).inverts() {
                 cc0[out] = c_out1.min(INF);
                 cc1[out] = c_out0.min(INF);
             } else {
@@ -91,31 +96,27 @@ impl Scoap {
 
         // Backward pass for observability.
         let mut co = vec![INF; n];
-        for net in nl.net_ids() {
-            let observed = nl
-                .fanouts(net)
-                .iter()
-                .any(|s| matches!(s, Sink::Po(_) | Sink::FfD(_)));
-            if observed {
-                co[net.index()] = 0;
+        for (i, slot) in co.iter_mut().enumerate() {
+            if cc.observed(atspeed_circuit::NetId::from_index(i)) {
+                *slot = 0;
             }
         }
-        for &gid in nl.topo_order().iter().rev() {
-            let gate = nl.gate(gid);
-            let out_co = co[gate.output().index()];
+        for &gid in cc.schedule().iter().rev() {
+            let out_co = co[cc.output(gid).index()];
             if out_co >= INF {
                 continue;
             }
-            for (p, &inet) in gate.inputs().iter().enumerate() {
+            let ins = cc.inputs(gid);
+            for (p, &inet) in ins.iter().enumerate() {
                 // To observe input p: observe the output and hold every
                 // other input at a non-controlling value (for XOR: any
                 // binary value; take the cheaper).
                 let mut cost = out_co.saturating_add(1);
-                for (q, &other) in gate.inputs().iter().enumerate() {
+                for (q, &other) in ins.iter().enumerate() {
                     if q == p {
                         continue;
                     }
-                    let side = match gate.kind() {
+                    let side = match cc.kind(gid) {
                         GateKind::And | GateKind::Nand => cc1[other.index()],
                         GateKind::Or | GateKind::Nor => cc0[other.index()],
                         GateKind::Xor | GateKind::Xnor => {

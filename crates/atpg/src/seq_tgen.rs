@@ -17,9 +17,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use atspeed_circuit::Netlist;
+use atspeed_circuit::{CompiledCircuit, Netlist};
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{stats, CombSim, Overrides, Sequence, SimConfig, V3, W3};
+use atspeed_sim::{stats, CompiledSim, Overrides, Sequence, SimConfig, V3, W3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -237,14 +237,15 @@ impl<'a> IncrementalSim<'a> {
     /// number of newly detected faults.
     pub fn apply(&mut self, vector: &[V3]) -> usize {
         let mut newly = 0usize;
-        let sim = CombSim::new(self.nl);
+        let cc = self.nl.compiled();
+        let sim = CompiledSim::new(cc);
         for gi in 0..self.groups.len() {
             let (po_mask, next) = {
                 let g = &self.groups[gi];
-                seed(self.nl, &mut self.vals, vector, &g.state);
-                sim.eval_with(&mut self.vals, &g.ov);
-                let po_mask = po_diff(self.nl, &self.vals, &self.groups[gi].ov);
-                let next: Vec<W3> = capture(self.nl, &self.vals, &self.groups[gi].ov);
+                seed(cc, &mut self.vals, vector, &g.state);
+                sim.eval_with_slice(&mut self.vals, &g.ov);
+                let po_mask = po_diff(cc, &self.vals, &self.groups[gi].ov);
+                let next: Vec<W3> = capture(cc, &self.vals, &self.groups[gi].ov);
                 (po_mask, next)
             };
             let g = &mut self.groups[gi];
@@ -271,7 +272,8 @@ impl<'a> IncrementalSim<'a> {
     /// `num_nets` width gives the same score. Committing nothing and taking
     /// `&self`, this is shareable across scoring threads.
     pub fn score_in(&self, vals: &mut [W3], vector: &[V3], sample: usize) -> (usize, usize) {
-        let sim = CombSim::new(self.nl);
+        let cc = self.nl.compiled();
+        let sim = CompiledSim::new(cc);
         let mut detections = 0usize;
         let mut activity = 0usize;
         let mut scored = 0usize;
@@ -283,12 +285,12 @@ impl<'a> IncrementalSim<'a> {
                 continue;
             }
             scored += 1;
-            seed(self.nl, vals, vector, &g.state);
-            sim.eval_with(vals, &g.ov);
-            let po_mask = po_diff(self.nl, vals, &g.ov);
+            seed(cc, vals, vector, &g.state);
+            sim.eval_with_slice(vals, &g.ov);
+            let po_mask = po_diff(cc, vals, &g.ov);
             detections += (po_mask & g.active & !g.detected).count_ones() as usize;
             // Activity: faulty machines whose next state newly differs.
-            let next = capture(self.nl, vals, &g.ov);
+            let next = capture(cc, vals, &g.ov);
             let mut sd = 0u64;
             for w in &next {
                 match w.get(0) {
@@ -343,19 +345,19 @@ impl<'a> IncrementalSim<'a> {
     }
 }
 
-fn seed(nl: &Netlist, vals: &mut [W3], vector: &[V3], state: &[W3]) {
-    debug_assert_eq!(vector.len(), nl.num_pis());
-    for (i, &pi) in nl.pis().iter().enumerate() {
+fn seed(cc: &CompiledCircuit, vals: &mut [W3], vector: &[V3], state: &[W3]) {
+    debug_assert_eq!(vector.len(), cc.pis().len());
+    for (i, &pi) in cc.pis().iter().enumerate() {
         vals[pi.index()] = W3::broadcast(vector[i]);
     }
-    for (f, ff) in nl.ffs().iter().enumerate() {
-        vals[ff.q().index()] = state[f];
+    for (f, &q) in cc.ff_qs().iter().enumerate() {
+        vals[q.index()] = state[f];
     }
 }
 
-fn po_diff(nl: &Netlist, vals: &[W3], ov: &Overrides) -> u64 {
+fn po_diff(cc: &CompiledCircuit, vals: &[W3], ov: &Overrides) -> u64 {
     let mut mask = 0u64;
-    for (k, &po) in nl.pos().iter().enumerate() {
+    for (k, &po) in cc.pos().iter().enumerate() {
         let w = ov.apply_po_pin(atspeed_circuit::PoId::from_index(k), vals[po.index()]);
         match w.get(0) {
             V3::One => mask |= w.zero,
@@ -366,11 +368,11 @@ fn po_diff(nl: &Netlist, vals: &[W3], ov: &Overrides) -> u64 {
     mask
 }
 
-fn capture(nl: &Netlist, vals: &[W3], ov: &Overrides) -> Vec<W3> {
-    nl.ffs()
+fn capture(cc: &CompiledCircuit, vals: &[W3], ov: &Overrides) -> Vec<W3> {
+    cc.ff_ds()
         .iter()
         .enumerate()
-        .map(|(f, ff)| ov.apply_ff_pin(atspeed_circuit::FfId::from_index(f), vals[ff.d().index()]))
+        .map(|(f, &d)| ov.apply_ff_pin(atspeed_circuit::FfId::from_index(f), vals[d.index()]))
         .collect()
 }
 

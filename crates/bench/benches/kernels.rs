@@ -1,0 +1,266 @@
+//! Kernel micro-benchmarks: legacy pointer walker vs compiled full pass vs
+//! event-driven delta path, over the ISCAS-89 circuits of the catalog.
+//!
+//! Besides the human-readable criterion output, the bench writes a
+//! machine-readable JSON summary (per circuit, per kernel: rounds, wall
+//! time, gate evaluations, events skipped, gate-evals/sec) so CI can
+//! archive runs and compare kernels across commits:
+//!
+//! - `KERNELS_JSON` — output path (default `target/kernels.json`);
+//! - `KERNELS_CIRCUITS` — comma-separated circuit filter (default: every
+//!   ISCAS-89 catalog circuit).
+//!
+//! The workload is a sequence of reseed-and-evaluate rounds: round 0
+//! assigns every source net a random 3-valued word, later rounds reseed a
+//! small random subset — the regime the event-driven path is built for.
+//! All three kernels compute identical values (the differential tests in
+//! `atspeed-sim` prove it); only the traversal strategy differs.
+
+use atspeed_circuit::catalog::{self, BenchmarkInfo, Suite};
+use atspeed_circuit::{NetId, Netlist};
+use atspeed_sim::{stats, CombSim, CompiledSim, SimScratch, W3};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn selected() -> Vec<BenchmarkInfo> {
+    let filter = std::env::var("KERNELS_CIRCUITS").ok();
+    catalog::all()
+        .iter()
+        .copied()
+        .filter(|b| b.suite == Suite::Iscas89)
+        .filter(|b| {
+            filter
+                .as_deref()
+                .is_none_or(|f| f.split(',').any(|n| n.trim() == b.name))
+        })
+        .collect()
+}
+
+fn rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    move || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn random_w3(next: &mut impl FnMut() -> u64) -> W3 {
+    let a = next();
+    let b = next();
+    W3 {
+        zero: a & !b,
+        one: !a & b,
+    }
+}
+
+/// Pre-generated reseed rounds: round 0 assigns every source, later rounds
+/// a ~1/8 subset, so the delta path has real events to skip around.
+struct Workload {
+    nl: Netlist,
+    rounds: Vec<Vec<(NetId, W3)>>,
+}
+
+fn make_workload(info: &BenchmarkInfo, num_rounds: usize) -> Workload {
+    let nl = info.instantiate();
+    let mut next = rng(0xBEEF ^ info.num_gates as u64);
+    let mut sources: Vec<NetId> = nl.pis().to_vec();
+    sources.extend(nl.ffs().iter().map(|ff| ff.q()));
+    let mut rounds = Vec::with_capacity(num_rounds);
+    for r in 0..num_rounds {
+        let mut round: Vec<(NetId, W3)> = Vec::new();
+        for &s in &sources {
+            if r == 0 || next() & 7 == 0 {
+                round.push((s, random_w3(&mut next)));
+            }
+        }
+        rounds.push(round);
+    }
+    Workload { nl, rounds }
+}
+
+/// One timed sweep over every round with the legacy pointer walker.
+fn run_legacy(w: &Workload, sim: &mut CombSim<'_>, vals: &mut [W3]) {
+    for round in &w.rounds {
+        for &(net, val) in round {
+            vals[net.index()] = val;
+        }
+        sim.eval(vals);
+    }
+    black_box(vals.first().copied());
+}
+
+/// One timed sweep with compiled full passes over a caller slice.
+fn run_compiled(w: &Workload, sim: &CompiledSim<'_>, vals: &mut [W3]) {
+    for round in &w.rounds {
+        for &(net, val) in round {
+            vals[net.index()] = val;
+        }
+        sim.eval_slice(vals);
+    }
+    black_box(vals.first().copied());
+}
+
+/// One timed sweep with the event-driven delta path: full pass on round 0,
+/// fanout-cone re-evaluation afterwards.
+fn run_event(w: &Workload, sim: &CompiledSim<'_>, scratch: &mut SimScratch) {
+    for (r, round) in w.rounds.iter().enumerate() {
+        for &(net, val) in round {
+            scratch.set_source(net, val);
+        }
+        if r == 0 {
+            sim.eval(scratch);
+        } else {
+            sim.eval_delta(scratch);
+        }
+    }
+    black_box(scratch.value(NetId::from_index(0)));
+}
+
+struct KernelRow {
+    kernel: &'static str,
+    wall_s: f64,
+    gate_evals: u64,
+    events_skipped: u64,
+}
+
+fn measure(f: impl FnOnce()) -> (f64, u64, u64) {
+    stats::reset();
+    let start = Instant::now();
+    f();
+    let wall = start.elapsed().as_secs_f64();
+    let t = stats::report().totals();
+    (wall, t.gate_evals, t.events_skipped)
+}
+
+fn measure_circuit(info: &BenchmarkInfo, num_rounds: usize, repeats: usize) -> Vec<KernelRow> {
+    let w = make_workload(info, num_rounds);
+    let cc = w.nl.compiled();
+    let mut rows = Vec::new();
+
+    let mut legacy = CombSim::new(&w.nl);
+    let mut vals = vec![W3::ALL_X; w.nl.num_nets()];
+    let (wall, evals, skipped) = measure(|| {
+        for _ in 0..repeats {
+            run_legacy(&w, &mut legacy, &mut vals);
+        }
+    });
+    rows.push(KernelRow {
+        kernel: "legacy",
+        wall_s: wall,
+        gate_evals: evals,
+        events_skipped: skipped,
+    });
+
+    let sim = CompiledSim::new(cc);
+    let mut vals = vec![W3::ALL_X; w.nl.num_nets()];
+    let (wall, evals, skipped) = measure(|| {
+        for _ in 0..repeats {
+            run_compiled(&w, &sim, &mut vals);
+        }
+    });
+    rows.push(KernelRow {
+        kernel: "compiled",
+        wall_s: wall,
+        gate_evals: evals,
+        events_skipped: skipped,
+    });
+
+    let mut scratch = SimScratch::new(cc);
+    let (wall, evals, skipped) = measure(|| {
+        for _ in 0..repeats {
+            run_event(&w, &sim, &mut scratch);
+        }
+    });
+    rows.push(KernelRow {
+        kernel: "event",
+        wall_s: wall,
+        gate_evals: evals,
+        events_skipped: skipped,
+    });
+
+    rows
+}
+
+fn emit_json(circuits: &[(BenchmarkInfo, Vec<KernelRow>)], rounds: usize, repeats: usize) {
+    let path = std::env::var("KERNELS_JSON").unwrap_or_else(|_| {
+        // Default into the workspace target dir, independent of the cwd
+        // cargo runs the bench from.
+        format!("{}/../../target/kernels.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    let mut out = String::from("{\n  \"circuits\": [\n");
+    for (i, (info, rows)) in circuits.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"gates\": {}, \"rounds\": {}, \"repeats\": {}, \
+             \"kernels\": [\n",
+            info.name, info.num_gates, rounds, repeats
+        ));
+        for (j, r) in rows.iter().enumerate() {
+            let evals_per_sec = if r.wall_s > 0.0 {
+                r.gate_evals as f64 / r.wall_s
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "      {{\"kernel\": \"{}\", \"wall_us\": {}, \"gate_evals\": {}, \
+                 \"events_skipped\": {}, \"gate_evals_per_sec\": {:.1}}}{}\n",
+                r.kernel,
+                (r.wall_s * 1e6) as u64,
+                r.gate_evals,
+                r.events_skipped,
+                evals_per_sec,
+                if j + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 == circuits.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("kernel summary written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // Criterion timings for humans; a fixed-round measured pass for the
+    // JSON artifact. Smoke mode (plain `cargo test`) keeps both tiny.
+    let (rounds, repeats, samples) = if bench_mode() { (64, 4, 10) } else { (4, 1, 1) };
+
+    let mut summary = Vec::new();
+    for info in selected() {
+        let w = make_workload(&info, rounds);
+        let cc = w.nl.compiled();
+        let mut g = c.benchmark_group(format!("kernels_{}", info.name));
+        g.sample_size(samples);
+        let mut legacy = CombSim::new(&w.nl);
+        let mut vals = vec![W3::ALL_X; w.nl.num_nets()];
+        g.bench_function("legacy", |b| {
+            b.iter(|| run_legacy(&w, &mut legacy, &mut vals))
+        });
+        let sim = CompiledSim::new(cc);
+        let mut vals = vec![W3::ALL_X; w.nl.num_nets()];
+        g.bench_function("compiled", |b| b.iter(|| run_compiled(&w, &sim, &mut vals)));
+        let mut scratch = SimScratch::new(cc);
+        g.bench_function("event", |b| b.iter(|| run_event(&w, &sim, &mut scratch)));
+        g.finish();
+
+        summary.push((info, measure_circuit(&info, rounds, repeats)));
+    }
+    emit_json(&summary, rounds, repeats);
+}
+
+criterion_group!(kernels, bench_kernels);
+criterion_main!(kernels);

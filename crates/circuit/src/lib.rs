@@ -42,6 +42,7 @@
 
 pub mod bench_fmt;
 pub mod catalog;
+mod compiled;
 mod error;
 mod gate;
 mod id;
@@ -49,6 +50,7 @@ mod netlist;
 pub mod stats;
 pub mod synth;
 
+pub use compiled::CompiledCircuit;
 pub use error::CircuitError;
 pub use gate::GateKind;
 pub use id::{FfId, GateId, NetId, PoId};

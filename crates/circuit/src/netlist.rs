@@ -1,8 +1,9 @@
 //! The immutable netlist representation and its builder.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
-use crate::{CircuitError, FfId, GateId, GateKind, NetId, PoId};
+use crate::{CircuitError, CompiledCircuit, FfId, GateId, GateKind, NetId, PoId};
 
 /// The unique driver of a net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +97,10 @@ pub struct Netlist {
     topo: Vec<GateId>,
     levels: Vec<u32>,
     max_level: u32,
+    // Lazily-built flat view; behind an `Arc` so clones share one build
+    // (`OnceLock` itself is not `Clone`). The netlist is immutable after
+    // construction, so the cache can never go stale.
+    compiled: Arc<OnceLock<CompiledCircuit>>,
 }
 
 impl Netlist {
@@ -231,6 +236,14 @@ impl Netlist {
     /// Iterates over all flip-flop ids.
     pub fn ff_ids(&self) -> impl Iterator<Item = FfId> + '_ {
         (0..self.num_ffs()).map(FfId::from_index)
+    }
+
+    /// The flat CSR view of this netlist, compiled on first use and cached
+    /// (clones share the cache). Hot simulation loops should index the
+    /// compiled arrays instead of walking [`Netlist::gate`] pointers.
+    #[inline]
+    pub fn compiled(&self) -> &CompiledCircuit {
+        self.compiled.get_or_init(|| CompiledCircuit::compile(self))
     }
 }
 
@@ -472,6 +485,7 @@ impl NetlistBuilder {
             topo,
             levels,
             max_level,
+            compiled: Arc::new(OnceLock::new()),
         })
     }
 }

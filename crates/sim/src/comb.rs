@@ -140,6 +140,18 @@ impl Overrides {
         }
         out
     }
+
+    /// The nets with an active stem override, for the kernel's seed pass.
+    #[inline]
+    pub(crate) fn stems(&self) -> &[NetId] {
+        &self.touched_stems
+    }
+
+    /// Whether `gate` has at least one input-pin override.
+    #[inline]
+    pub(crate) fn is_gate_flagged(&self, gate: GateId) -> bool {
+        self.gate_flagged[gate.index()]
+    }
 }
 
 /// Evaluates the combinational core of a netlist over packed values.
@@ -147,15 +159,28 @@ impl Overrides {
 /// The value array is indexed by [`NetId`]; the caller seeds the source nets
 /// (primary inputs and flip-flop outputs) and [`CombSim::eval`] fills in
 /// every gate output in levelized order.
-#[derive(Debug, Clone, Copy)]
+///
+/// This is the *legacy walker*: it follows the pointer-based
+/// [`Netlist::gate`] accessors gate by gate and serves as the reference
+/// implementation for differential tests. Hot paths should use the compiled
+/// kernel ([`CompiledSim`](crate::kernel::CompiledSim)) instead, which
+/// evaluates the flat [`CompiledCircuit`](atspeed_circuit::CompiledCircuit)
+/// arrays.
+#[derive(Debug, Clone)]
 pub struct CombSim<'a> {
     nl: &'a Netlist,
+    // Per-gate input staging buffer, hoisted out of the eval loop so the
+    // reference walker does not churn the allocator once warm.
+    ins: Vec<W3>,
 }
 
 impl<'a> CombSim<'a> {
     /// Creates an evaluator for `nl`.
     pub fn new(nl: &'a Netlist) -> Self {
-        CombSim { nl }
+        CombSim {
+            nl,
+            ins: Vec::with_capacity(8),
+        }
     }
 
     /// The netlist being evaluated.
@@ -168,15 +193,14 @@ impl<'a> CombSim<'a> {
     /// # Panics
     ///
     /// Panics if `vals` is shorter than the netlist's net count.
-    pub fn eval(&self, vals: &mut [W3]) {
+    pub fn eval(&mut self, vals: &mut [W3]) {
         assert!(vals.len() >= self.nl.num_nets());
         crate::stats::add_gate_evals(self.nl.num_gates() as u64);
-        let mut ins: Vec<W3> = Vec::with_capacity(8);
         for &gid in self.nl.topo_order() {
             let g = self.nl.gate(gid);
-            ins.clear();
-            ins.extend(g.inputs().iter().map(|&n| vals[n.index()]));
-            vals[g.output().index()] = W3::eval_gate(g.kind(), &ins);
+            self.ins.clear();
+            self.ins.extend(g.inputs().iter().map(|&n| vals[n.index()]));
+            vals[g.output().index()] = W3::eval_gate(g.kind(), &self.ins);
         }
     }
 
@@ -189,7 +213,7 @@ impl<'a> CombSim<'a> {
     /// # Panics
     ///
     /// Panics if `vals` is shorter than the netlist's net count.
-    pub fn eval_with(&self, vals: &mut [W3], ov: &Overrides) {
+    pub fn eval_with(&mut self, vals: &mut [W3], ov: &Overrides) {
         assert!(vals.len() >= self.nl.num_nets());
         crate::stats::add_gate_evals(self.nl.num_gates() as u64);
         for &net in &ov.touched_stems {
@@ -197,18 +221,18 @@ impl<'a> CombSim<'a> {
                 vals[net.index()] = ov.apply_stem(net, vals[net.index()]);
             }
         }
-        let mut ins: Vec<W3> = Vec::with_capacity(8);
         for &gid in self.nl.topo_order() {
             let g = self.nl.gate(gid);
-            ins.clear();
+            self.ins.clear();
             if ov.gate_flagged[gid.index()] {
                 for (pin, &n) in g.inputs().iter().enumerate() {
-                    ins.push(ov.apply_gate_pin(gid, pin as u8, vals[n.index()]));
+                    self.ins
+                        .push(ov.apply_gate_pin(gid, pin as u8, vals[n.index()]));
                 }
             } else {
-                ins.extend(g.inputs().iter().map(|&n| vals[n.index()]));
+                self.ins.extend(g.inputs().iter().map(|&n| vals[n.index()]));
             }
-            let out = W3::eval_gate(g.kind(), &ins);
+            let out = W3::eval_gate(g.kind(), &self.ins);
             vals[g.output().index()] = ov.apply_stem(g.output(), out);
         }
     }
@@ -237,7 +261,7 @@ mod tests {
 
     fn eval_mux(a: V3, b: V3, s: V3) -> V3 {
         let nl = mux();
-        let sim = CombSim::new(&nl);
+        let mut sim = CombSim::new(&nl);
         let mut vals = vec![W3::ALL_X; nl.num_nets()];
         vals[nl.find_net("a").unwrap().index()] = W3::broadcast(a);
         vals[nl.find_net("b").unwrap().index()] = W3::broadcast(b);
@@ -259,7 +283,7 @@ mod tests {
     #[test]
     fn parallel_slots_are_independent() {
         let nl = mux();
-        let sim = CombSim::new(&nl);
+        let mut sim = CombSim::new(&nl);
         let mut vals = vec![W3::ALL_X; nl.num_nets()];
         // slot 0: a=1,s=0 -> y=1 ; slot 1: b=1,s=1 -> y=1 ; slot 2: all 0 -> 0
         let mut a = W3::ALL_X;
@@ -287,7 +311,7 @@ mod tests {
     #[test]
     fn stem_override_forces_value() {
         let nl = mux();
-        let sim = CombSim::new(&nl);
+        let mut sim = CombSim::new(&nl);
         let mut ov = Overrides::new(&nl);
         let t0 = nl.find_net("t0").unwrap();
         // Stuck-at-1 on t0 in slot 1 only.
@@ -311,7 +335,7 @@ mod tests {
     #[test]
     fn pin_override_affects_single_branch() {
         let nl = s27();
-        let sim = CombSim::new(&nl);
+        let mut sim = CombSim::new(&nl);
         // G11 fans out to G17 (a NOT gate driving the PO) and others. A
         // pin fault on G17's input must flip the PO without disturbing the
         // other branches.
@@ -346,7 +370,7 @@ mod tests {
     #[test]
     fn clear_resets_and_is_reusable() {
         let nl = mux();
-        let sim = CombSim::new(&nl);
+        let mut sim = CombSim::new(&nl);
         let mut ov = Overrides::new(&nl);
         ov.add(
             Fault {
@@ -369,7 +393,7 @@ mod tests {
     #[test]
     fn source_stem_override_applies_to_seeded_pi() {
         let nl = mux();
-        let sim = CombSim::new(&nl);
+        let mut sim = CombSim::new(&nl);
         let mut ov = Overrides::new(&nl);
         let a = nl.find_net("a").unwrap();
         ov.add(

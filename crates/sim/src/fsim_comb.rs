@@ -9,10 +9,11 @@
 //! event-driven through its fanout cone, which is orders of magnitude faster
 //! than re-evaluating the whole circuit per fault.
 
-use atspeed_circuit::{Driver, GateId, NetId, Netlist, Sink};
+use atspeed_circuit::{CompiledCircuit, Driver, GateId, NetId, Netlist};
 
 use crate::comb::CombSim;
 use crate::fault::{FaultId, FaultSite, FaultUniverse};
+use crate::kernel::CompiledSim;
 use crate::logic::{V3, W3};
 use crate::vectors::State;
 
@@ -35,9 +36,14 @@ impl CombTest {
 }
 
 /// PPSFP fault simulator with reusable scratch state.
+///
+/// Evaluation runs over the netlist's [`CompiledCircuit`] view: the good
+/// machine is a full compiled levelized pass, and each fault's propagation
+/// walks the compiled CSR fanout spans event-driven through level buckets.
 #[derive(Debug)]
 pub struct CombFaultSim<'a> {
     nl: &'a Netlist,
+    cc: &'a CompiledCircuit,
     good: Vec<W3>,
     fval: Vec<W3>,
     has_fval: Vec<bool>,
@@ -45,27 +51,22 @@ pub struct CombFaultSim<'a> {
     buckets: Vec<Vec<GateId>>,
     in_queue: Vec<bool>,
     processed: Vec<GateId>,
-    gate_level: Vec<u32>,
 }
 
 impl<'a> CombFaultSim<'a> {
     /// Creates a simulator for `nl`.
     pub fn new(nl: &'a Netlist) -> Self {
-        let gate_level = nl
-            .gates()
-            .iter()
-            .map(|g| nl.level(g.output()))
-            .collect::<Vec<_>>();
+        let cc = nl.compiled();
         CombFaultSim {
             nl,
-            good: vec![W3::ALL_X; nl.num_nets()],
-            fval: vec![W3::ALL_X; nl.num_nets()],
-            has_fval: vec![false; nl.num_nets()],
+            cc,
+            good: vec![W3::ALL_X; cc.num_nets()],
+            fval: vec![W3::ALL_X; cc.num_nets()],
+            has_fval: vec![false; cc.num_nets()],
             touched: Vec::new(),
-            buckets: vec![Vec::new(); nl.max_level() as usize + 2],
-            in_queue: vec![false; nl.num_gates()],
+            buckets: vec![Vec::new(); cc.max_level() as usize + 2],
+            in_queue: vec![false; cc.num_gates()],
             processed: Vec::new(),
-            gate_level,
         }
     }
 
@@ -153,24 +154,24 @@ impl<'a> CombFaultSim<'a> {
     }
 
     fn seed_and_eval_good(&mut self, tests: &[CombTest]) {
-        let nl = self.nl;
-        for (i, &pi) in nl.pis().iter().enumerate() {
+        let cc = self.cc;
+        for (i, &pi) in cc.pis().iter().enumerate() {
             let mut w = W3::ALL_X;
             for (s, t) in tests.iter().enumerate() {
-                debug_assert_eq!(t.inputs.len(), nl.num_pis(), "input width mismatch");
+                debug_assert_eq!(t.inputs.len(), cc.pis().len(), "input width mismatch");
                 w.set(s, t.inputs[i]);
             }
             self.good[pi.index()] = w;
         }
-        for (f, ff) in nl.ffs().iter().enumerate() {
+        for (f, &q) in cc.ff_qs().iter().enumerate() {
             let mut w = W3::ALL_X;
             for (s, t) in tests.iter().enumerate() {
-                debug_assert_eq!(t.state.len(), nl.num_ffs(), "state width mismatch");
+                debug_assert_eq!(t.state.len(), cc.ff_qs().len(), "state width mismatch");
                 w.set(s, t.state[f]);
             }
-            self.good[ff.q().index()] = w;
+            self.good[q.index()] = w;
         }
-        CombSim::new(nl).eval(&mut self.good);
+        CompiledSim::new(cc).eval_slice(&mut self.good);
     }
 
     /// Event-driven single-fault propagation; returns the detect mask.
@@ -179,11 +180,11 @@ impl<'a> CombFaultSim<'a> {
         // Pin faults at observation points never propagate through logic.
         match fault.site {
             FaultSite::FfPin(ff) => {
-                let g = self.good[self.nl.ff(ff).d().index()];
+                let g = self.good[self.cc.ff_d(ff).index()];
                 return if fault.stuck { g.zero } else { g.one };
             }
             FaultSite::PoPin(po) => {
-                let g = self.good[self.nl.pos()[po.index()].index()];
+                let g = self.good[self.cc.pos()[po.index()].index()];
                 return if fault.stuck { g.zero } else { g.one };
             }
             _ => {}
@@ -220,13 +221,7 @@ impl<'a> CombFaultSim<'a> {
         let mut mask = 0u64;
         for &net in &self.touched {
             let differs = self.good[net.index()].diff_known(self.fval[net.index()]);
-            if differs != 0
-                && self
-                    .nl
-                    .fanouts(net)
-                    .iter()
-                    .any(|s| matches!(s, Sink::Po(_) | Sink::FfD(_)))
-            {
+            if differs != 0 && self.cc.observed(net) {
                 mask |= differs;
             }
         }
@@ -234,6 +229,7 @@ impl<'a> CombFaultSim<'a> {
             self.has_fval[net.index()] = false;
         }
         crate::stats::add_gate_evals(self.processed.len() as u64);
+        crate::stats::add_events_skipped(self.cc.num_gates() as u64 - self.processed.len() as u64);
         for gid in self.processed.drain(..) {
             self.in_queue[gid.index()] = false;
         }
@@ -259,45 +255,50 @@ impl<'a> CombFaultSim<'a> {
     }
 
     fn schedule_sinks(&mut self, net: NetId, mut min_level: u32) -> u32 {
-        for sink_idx in 0..self.nl.fanouts(net).len() {
-            if let Sink::GatePin(gid, _) = self.nl.fanouts(net)[sink_idx] {
-                min_level = min_level.min(self.schedule_gate(gid, u32::MAX).min(min_level));
-            }
+        let cc = self.cc;
+        for &gid in cc.fanout_gates(net) {
+            min_level = self.schedule_gate(gid, min_level);
         }
         min_level
     }
 
     fn schedule_gate(&mut self, gid: GateId, min_level: u32) -> u32 {
-        if self.in_queue[gid.index()] {
-            return min_level.min(self.gate_level[gid.index()]);
+        let level = self.cc.gate_level(gid);
+        if !self.in_queue[gid.index()] {
+            self.in_queue[gid.index()] = true;
+            self.processed.push(gid);
+            self.buckets[level as usize].push(gid);
         }
-        self.in_queue[gid.index()] = true;
-        self.processed.push(gid);
-        let level = self.gate_level[gid.index()];
-        self.buckets[level as usize].push(gid);
         min_level.min(level)
     }
 
     fn eval_faulty_gate(&mut self, gid: GateId, fault: crate::fault::Fault) {
-        let gate = self.nl.gate(gid);
-        let mut ins: [W3; 16] = [W3::ALL_X; 16];
-        let n = gate.inputs().len();
-        debug_assert!(n <= 16, "gate fanin exceeds scratch size");
-        for (p, &inet) in gate.inputs().iter().enumerate() {
+        let cc = self.cc;
+        let kind = cc.kind(gid);
+        let span = cc.inputs(gid);
+        // Fold the gate function over the compiled pin span, applying the
+        // single injected pin fault (if it lands here) in the stream.
+        let mut acc = W3::ALL_X;
+        for (p, &inet) in span.iter().enumerate() {
             let mut w = self.value_of(inet);
             if let FaultSite::GatePin(fg, fp) = fault.site {
                 if fg == gid && fp == p as u8 {
                     w = w.force(fault.stuck, u64::MAX);
                 }
             }
-            ins[p] = w;
+            acc = if p == 0 {
+                w
+            } else {
+                crate::kernel::combine(kind, acc, w)
+            };
         }
-        let out = W3::eval_gate(gate.kind(), &ins[..n]);
+        let out = if kind.inverts() { acc.not() } else { acc };
+        let onet = cc.output(gid);
         let out = if let FaultSite::Stem(net) = fault.site {
             // A stem fault downstream of itself cannot occur (acyclic), but
             // reconvergence can route through the fault net only if the
             // gate drives it — keep the forced value authoritative.
-            if gate.output() == net {
+            if onet == net {
                 out.force(fault.stuck, u64::MAX)
             } else {
                 out
@@ -305,19 +306,11 @@ impl<'a> CombFaultSim<'a> {
         } else {
             out
         };
-        let onet = gate.output();
         if out != self.value_of(onet) {
             self.set_fval(onet, out);
-            for sink_idx in 0..self.nl.fanouts(onet).len() {
-                if let Sink::GatePin(g2, _) = self.nl.fanouts(onet)[sink_idx] {
-                    self.schedule_gate(g2, u32::MAX);
-                }
+            for &g2 in cc.fanout_gates(onet) {
+                self.schedule_gate(g2, u32::MAX);
             }
-        } else if !self.has_fval[onet.index()] {
-            // No change and no recorded faulty value: nothing to do.
-        } else {
-            // Value reverted to a previously-recorded faulty value; the
-            // stored value is already `out`.
         }
     }
 
@@ -333,7 +326,7 @@ impl<'a> CombFaultSim<'a> {
         assert!(!tests.is_empty() && tests.len() <= 64);
         self.seed_and_eval_good(tests);
         let good = self.good.clone();
-        let sim = CombSim::new(self.nl);
+        let mut sim = CombSim::new(self.nl);
         let mut ov = Overrides::new(self.nl);
         let mut out = Vec::with_capacity(faults.len());
         let mut vals = vec![W3::ALL_X; self.nl.num_nets()];

@@ -9,10 +9,11 @@
 //! full per-cycle state-difference sets that Phase 1 of the paper uses to
 //! choose the scan-out time unit.
 
-use atspeed_circuit::{FfId, Netlist, PoId};
+use atspeed_circuit::{CompiledCircuit, FfId, Netlist, PoId};
 
-use crate::comb::{CombSim, Overrides};
+use crate::comb::Overrides;
 use crate::fault::{FaultId, FaultUniverse};
+use crate::kernel::{CompiledSim, SimScratch};
 use crate::logic::{V3, W3};
 use crate::vectors::{Sequence, State};
 
@@ -42,35 +43,43 @@ impl<'a> SeqSim<'a> {
     /// Simulates `seq` from the initial state `init` (use all-X for a
     /// circuit that has not been scan-loaded).
     ///
+    /// The first cycle is a full compiled levelized pass; later cycles run
+    /// event-driven, re-evaluating only the cone of the inputs and state
+    /// bits that changed between cycles.
+    ///
     /// # Panics
     ///
     /// Panics if `init` or the sequence width do not match the netlist.
     pub fn run(&self, init: &State, seq: &Sequence) -> GoodTrace {
         assert_eq!(init.len(), self.nl.num_ffs(), "state width mismatch");
-        let sim = CombSim::new(self.nl);
-        let mut vals = vec![W3::ALL_X; self.nl.num_nets()];
+        let cc = self.nl.compiled();
+        let sim = CompiledSim::new(cc);
+        let mut scratch = SimScratch::new(cc);
         let mut state: Vec<W3> = init.iter().map(|&v| W3::broadcast(v)).collect();
         let mut po_values = Vec::with_capacity(seq.len());
         let mut states = Vec::with_capacity(seq.len());
         for t in 0..seq.len() {
             let vec = seq.vector(t);
             assert_eq!(vec.len(), self.nl.num_pis(), "input width mismatch");
-            for (i, &pi) in self.nl.pis().iter().enumerate() {
-                vals[pi.index()] = W3::broadcast(vec[i]);
+            for (i, &pi) in cc.pis().iter().enumerate() {
+                scratch.set_source(pi, W3::broadcast(vec[i]));
             }
-            for (f, ff) in self.nl.ffs().iter().enumerate() {
-                vals[ff.q().index()] = state[f];
+            for (f, &q) in cc.ff_qs().iter().enumerate() {
+                scratch.set_source(q, state[f]);
             }
-            sim.eval(&mut vals);
+            if t == 0 {
+                sim.eval(&mut scratch);
+            } else {
+                sim.eval_delta(&mut scratch);
+            }
             po_values.push(
-                self.nl
-                    .pos()
+                cc.pos()
                     .iter()
-                    .map(|&po| vals[po.index()].get(0))
+                    .map(|&po| scratch.value(po).get(0))
                     .collect(),
             );
-            for (f, ff) in self.nl.ffs().iter().enumerate() {
-                state[f] = vals[ff.d().index()];
+            for (f, &d) in cc.ff_ds().iter().enumerate() {
+                state[f] = scratch.value(d);
             }
             states.push(state.iter().map(|w| w.get(0)).collect());
         }
@@ -143,10 +152,17 @@ pub enum FinalObserve<'m> {
 }
 
 /// Parallel-fault sequential fault simulator with reusable scratch buffers.
+///
+/// Evaluates over the netlist's [`CompiledCircuit`]: within each 63-fault
+/// chunk the first cycle is a full compiled pass under the injected
+/// overrides, and subsequent cycles propagate event-driven from the input
+/// and state bits that changed (the override set is fixed for the whole
+/// chunk, so values outside the changed cone stay valid).
 #[derive(Debug)]
 pub struct SeqFaultSim<'a> {
     nl: &'a Netlist,
-    vals: Vec<W3>,
+    cc: &'a CompiledCircuit,
+    scratch: SimScratch,
     ov: Overrides,
 }
 
@@ -156,9 +172,11 @@ pub const FAULTS_PER_PASS: usize = 63;
 impl<'a> SeqFaultSim<'a> {
     /// Creates a fault simulator for `nl`.
     pub fn new(nl: &'a Netlist) -> Self {
+        let cc = nl.compiled();
         SeqFaultSim {
             nl,
-            vals: vec![W3::ALL_X; nl.num_nets()],
+            cc,
+            scratch: SimScratch::new(cc),
             ov: Overrides::new(nl),
         }
     }
@@ -217,10 +235,14 @@ impl<'a> SeqFaultSim<'a> {
             }
             let mut caught = 0u64;
             let mut state: Vec<W3> = init.iter().map(|&v| W3::broadcast(v)).collect();
-            let sim = CombSim::new(self.nl);
+            let sim = CompiledSim::new(self.cc);
             for t in 0..seq.len() {
                 self.seed_inputs(seq, t, &state);
-                sim.eval_with(&mut self.vals, &self.ov);
+                if t == 0 {
+                    sim.eval_with(&mut self.scratch, &self.ov);
+                } else {
+                    sim.eval_delta_with(&mut self.scratch, &self.ov);
+                }
                 caught |= self.po_diff_mask() & active;
                 self.capture(&mut state);
                 if t + 1 == seq.len() {
@@ -276,10 +298,14 @@ impl<'a> SeqFaultSim<'a> {
             }
             let mut po_done = 0u64;
             let mut state: Vec<W3> = init.iter().map(|&v| W3::broadcast(v)).collect();
-            let sim = CombSim::new(self.nl);
+            let sim = CompiledSim::new(self.cc);
             for t in 0..seq.len() {
                 self.seed_inputs(seq, t, &state);
-                sim.eval_with(&mut self.vals, &self.ov);
+                if t == 0 {
+                    sim.eval_with(&mut self.scratch, &self.ov);
+                } else {
+                    sim.eval_delta_with(&mut self.scratch, &self.ov);
+                }
                 let po_mask = self.po_diff_mask() & active & !po_done;
                 if po_mask != 0 {
                     for k in 0..chunk.len() {
@@ -309,20 +335,20 @@ impl<'a> SeqFaultSim<'a> {
     fn seed_inputs(&mut self, seq: &Sequence, t: usize, state: &[W3]) {
         let vec = seq.vector(t);
         debug_assert_eq!(vec.len(), self.nl.num_pis(), "input width mismatch");
-        for (i, &pi) in self.nl.pis().iter().enumerate() {
-            self.vals[pi.index()] = W3::broadcast(vec[i]);
+        for (i, &pi) in self.cc.pis().iter().enumerate() {
+            self.scratch.set_source(pi, W3::broadcast(vec[i]));
         }
-        for (f, ff) in self.nl.ffs().iter().enumerate() {
-            self.vals[ff.q().index()] = state[f];
+        for (f, &q) in self.cc.ff_qs().iter().enumerate() {
+            self.scratch.set_source(q, state[f]);
         }
     }
 
     fn po_diff_mask(&self) -> u64 {
         let mut mask = 0u64;
-        for (k, &po) in self.nl.pos().iter().enumerate() {
+        for (k, &po) in self.cc.pos().iter().enumerate() {
             let w = self
                 .ov
-                .apply_po_pin(PoId::from_index(k), self.vals[po.index()]);
+                .apply_po_pin(PoId::from_index(k), self.scratch.value(po));
             match w.get(0) {
                 V3::One => mask |= w.zero,
                 V3::Zero => mask |= w.one,
@@ -333,10 +359,10 @@ impl<'a> SeqFaultSim<'a> {
     }
 
     fn capture(&mut self, state: &mut [W3]) {
-        for (f, ff) in self.nl.ffs().iter().enumerate() {
+        for (f, &d) in self.cc.ff_ds().iter().enumerate() {
             let w = self
                 .ov
-                .apply_ff_pin(FfId::from_index(f), self.vals[ff.d().index()]);
+                .apply_ff_pin(FfId::from_index(f), self.scratch.value(d));
             state[f] = w;
         }
     }

@@ -1,0 +1,518 @@
+//! The compiled simulation kernel: levelized and event-driven evaluation
+//! over [`CompiledCircuit`] with caller-owned, reusable scratch state.
+//!
+//! [`CompiledSim`] is the hot-path counterpart of the legacy
+//! [`CombSim`](crate::comb::CombSim) walker. It indexes the flat CSR arrays
+//! of a [`CompiledCircuit`] — no per-gate pointer chase, no per-call input
+//! buffer — and folds each gate's function directly over its pin span.
+//!
+//! All mutable per-simulation state (the net value array, the event-queue
+//! level buckets, the in-queue flags) lives in a [`SimScratch`] that the
+//! caller owns and recycles across calls, so steady-state evaluation
+//! performs no allocation at all. Engines that simulate many related
+//! passes (sequential fault simulation, incremental test generation) use
+//! the *event-driven* entry points ([`CompiledSim::eval_delta`],
+//! [`CompiledSim::eval_delta_with`]): after seeding source nets through
+//! [`SimScratch::set_source`], only the fanout cone of the nets that
+//! actually changed is re-evaluated, and the gates skipped are reported to
+//! [`stats`](crate::stats) as *events skipped*.
+
+use atspeed_circuit::{CompiledCircuit, GateId, GateKind, NetId};
+
+use crate::comb::Overrides;
+use crate::logic::W3;
+
+/// Reusable per-simulation mutable state for [`CompiledSim`].
+///
+/// Holds the net value array plus the event-propagation machinery (changed
+/// source list, level buckets, in-queue flags). Create one per simulation
+/// context — e.g. one per worker thread — and recycle it across calls;
+/// nothing is reallocated after construction.
+#[derive(Debug, Clone)]
+pub struct SimScratch {
+    vals: Vec<W3>,
+    // Source nets written since the last eval, for the delta path.
+    changed: Vec<NetId>,
+    dirty: Vec<bool>,
+    // Event queue: gates pending re-evaluation, bucketed by level.
+    buckets: Vec<Vec<GateId>>,
+    in_queue: Vec<bool>,
+    queued: Vec<GateId>,
+}
+
+impl SimScratch {
+    /// Creates scratch state sized for `cc`, with every net at X.
+    pub fn new(cc: &CompiledCircuit) -> Self {
+        SimScratch {
+            vals: vec![W3::ALL_X; cc.num_nets()],
+            changed: Vec::new(),
+            dirty: vec![false; cc.num_nets()],
+            buckets: vec![Vec::new(); cc.max_level() as usize + 1],
+            in_queue: vec![false; cc.num_gates()],
+            queued: Vec::new(),
+        }
+    }
+
+    /// The current net values, indexed by [`NetId`].
+    #[inline]
+    pub fn values(&self) -> &[W3] {
+        &self.vals
+    }
+
+    /// The current value of one net.
+    #[inline]
+    pub fn value(&self, net: NetId) -> W3 {
+        self.vals[net.index()]
+    }
+
+    /// Seeds a source net (primary input or flip-flop output), recording a
+    /// change event when the value actually differs so a following
+    /// [`CompiledSim::eval_delta`] re-evaluates only the affected cone.
+    #[inline]
+    pub fn set_source(&mut self, net: NetId, w: W3) {
+        let i = net.index();
+        if self.vals[i] != w {
+            self.vals[i] = w;
+            if !self.dirty[i] {
+                self.dirty[i] = true;
+                self.changed.push(net);
+            }
+        }
+    }
+
+    /// Writes a net value directly, without change tracking. After calling
+    /// this, the next evaluation must be a full pass ([`CompiledSim::eval`]
+    /// or [`CompiledSim::eval_with`]); the delta path would miss the edit.
+    #[inline]
+    pub fn set_untracked(&mut self, net: NetId, w: W3) {
+        self.vals[net.index()] = w;
+    }
+
+    /// Resets every net to `w` (typically [`W3::ALL_X`]). The next
+    /// evaluation must be a full pass.
+    pub fn fill(&mut self, w: W3) {
+        self.vals.fill(w);
+        self.clear_events();
+    }
+
+    fn clear_events(&mut self) {
+        for net in self.changed.drain(..) {
+            self.dirty[net.index()] = false;
+        }
+    }
+}
+
+/// Levelized/event-driven evaluator over a [`CompiledCircuit`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledSim<'a> {
+    cc: &'a CompiledCircuit,
+}
+
+/// Folds `kind` over two operands (the reduction step of a gate function,
+/// inversion excluded).
+#[inline]
+pub(crate) fn combine(kind: GateKind, a: W3, b: W3) -> W3 {
+    match kind {
+        GateKind::And | GateKind::Nand => a.and(b),
+        GateKind::Or | GateKind::Nor => a.or(b),
+        GateKind::Xor | GateKind::Xnor => a.xor(b),
+        // Single-input kinds never reach the reduction step.
+        GateKind::Not | GateKind::Buf => a,
+    }
+}
+
+impl<'a> CompiledSim<'a> {
+    /// Creates an evaluator over `cc`.
+    pub fn new(cc: &'a CompiledCircuit) -> Self {
+        CompiledSim { cc }
+    }
+
+    /// The compiled circuit being evaluated.
+    #[inline]
+    pub fn circuit(&self) -> &'a CompiledCircuit {
+        self.cc
+    }
+
+    /// Evaluates one gate by folding its function over the pin span —
+    /// no staging buffer.
+    #[inline]
+    fn eval_gate(&self, vals: &[W3], gid: GateId) -> W3 {
+        let kind = self.cc.kind(gid);
+        let span = self.cc.inputs(gid);
+        let mut acc = vals[span[0].index()];
+        for &net in &span[1..] {
+            acc = combine(kind, acc, vals[net.index()]);
+        }
+        if kind.inverts() {
+            acc.not()
+        } else {
+            acc
+        }
+    }
+
+    /// Evaluates one gate with input-pin overrides applied (the rare,
+    /// flagged-gate path).
+    #[inline]
+    fn eval_gate_flagged(&self, vals: &[W3], gid: GateId, ov: &Overrides) -> W3 {
+        let kind = self.cc.kind(gid);
+        let span = self.cc.inputs(gid);
+        let mut acc = ov.apply_gate_pin(gid, 0, vals[span[0].index()]);
+        for (pin, &net) in span.iter().enumerate().skip(1) {
+            let w = ov.apply_gate_pin(gid, pin as u8, vals[net.index()]);
+            acc = combine(kind, acc, w);
+        }
+        if kind.inverts() {
+            acc.not()
+        } else {
+            acc
+        }
+    }
+
+    /// Full levelized pass, fault-free: fills in every gate output from the
+    /// seeded source nets.
+    pub fn eval(&self, s: &mut SimScratch) {
+        s.clear_events();
+        self.eval_slice(&mut s.vals);
+    }
+
+    /// Full levelized pass with fault injection (same override semantics as
+    /// the legacy [`CombSim::eval_with`](crate::comb::CombSim::eval_with)).
+    pub fn eval_with(&self, s: &mut SimScratch, ov: &Overrides) {
+        s.clear_events();
+        self.eval_with_slice(&mut s.vals, ov);
+    }
+
+    /// Full levelized pass over a caller-owned value slice. Prefer the
+    /// [`SimScratch`]-based entry points; this exists for engines that keep
+    /// their own value overlays (e.g. the PPSFP good machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than the circuit's net count.
+    pub fn eval_slice(&self, vals: &mut [W3]) {
+        assert!(vals.len() >= self.cc.num_nets());
+        crate::stats::add_gate_evals(self.cc.num_gates() as u64);
+        for &gid in self.cc.schedule() {
+            let out = self.eval_gate(vals, gid);
+            vals[self.cc.output(gid).index()] = out;
+        }
+    }
+
+    /// Full levelized pass with fault injection over a caller-owned value
+    /// slice (see [`CompiledSim::eval_slice`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than the circuit's net count.
+    pub fn eval_with_slice(&self, vals: &mut [W3], ov: &Overrides) {
+        assert!(vals.len() >= self.cc.num_nets());
+        crate::stats::add_gate_evals(self.cc.num_gates() as u64);
+        for &net in ov.stems() {
+            if !self.cc.gate_driven(net) {
+                vals[net.index()] = ov.apply_stem(net, vals[net.index()]);
+            }
+        }
+        for &gid in self.cc.schedule() {
+            let out = if ov.is_gate_flagged(gid) {
+                self.eval_gate_flagged(vals, gid, ov)
+            } else {
+                self.eval_gate(vals, gid)
+            };
+            let onet = self.cc.output(gid);
+            vals[onet.index()] = ov.apply_stem(onet, out);
+        }
+    }
+
+    /// Event-driven incremental pass, fault-free: re-evaluates only the
+    /// fanout cone of the source nets changed through
+    /// [`SimScratch::set_source`] since the last evaluation.
+    ///
+    /// Requires that `s` holds a consistent fault-free evaluation apart
+    /// from those seeds (i.e. the previous call was [`CompiledSim::eval`]
+    /// or `eval_delta` on the same scratch).
+    pub fn eval_delta(&self, s: &mut SimScratch) {
+        self.delta(s, None);
+    }
+
+    /// Event-driven incremental pass with fault injection.
+    ///
+    /// Requires that `s` holds a consistent evaluation under the *same*
+    /// override set `ov` apart from the seeds (i.e. the previous call was
+    /// [`CompiledSim::eval_with`] or `eval_delta_with` with an unchanged
+    /// `ov`). Values outside the changed cone stay valid precisely because
+    /// neither their inputs nor the injected faults moved.
+    pub fn eval_delta_with(&self, s: &mut SimScratch, ov: &Overrides) {
+        self.delta(s, Some(ov));
+    }
+
+    fn delta(&self, s: &mut SimScratch, ov: Option<&Overrides>) {
+        debug_assert!(s.queued.is_empty());
+        // Apply source stem overrides to the fresh seeds. Stored values
+        // already satisfy `w == apply_stem(w)` (force is idempotent), so
+        // nets whose seed did not change need no re-application.
+        if let Some(ov) = ov {
+            for i in 0..s.changed.len() {
+                let net = s.changed[i];
+                if !self.cc.gate_driven(net) {
+                    s.vals[net.index()] = ov.apply_stem(net, s.vals[net.index()]);
+                }
+            }
+        }
+        let mut min_level = u32::MAX;
+        for i in 0..s.changed.len() {
+            let net = s.changed[i];
+            s.dirty[net.index()] = false;
+            for &gid in self.cc.fanout_gates(net) {
+                min_level = min_level.min(schedule(s, gid, self.cc));
+            }
+        }
+        s.changed.clear();
+
+        if min_level != u32::MAX {
+            let mut level = min_level as usize;
+            while level < s.buckets.len() {
+                while let Some(gid) = s.buckets[level].pop() {
+                    let out = match ov {
+                        Some(ov) if ov.is_gate_flagged(gid) => {
+                            self.eval_gate_flagged(&s.vals, gid, ov)
+                        }
+                        _ => self.eval_gate(&s.vals, gid),
+                    };
+                    let onet = self.cc.output(gid);
+                    let out = match ov {
+                        Some(ov) => ov.apply_stem(onet, out),
+                        None => out,
+                    };
+                    if out != s.vals[onet.index()] {
+                        s.vals[onet.index()] = out;
+                        for &g2 in self.cc.fanout_gates(onet) {
+                            schedule(s, g2, self.cc);
+                        }
+                    }
+                }
+                level += 1;
+            }
+        }
+
+        let touched = s.queued.len() as u64;
+        crate::stats::add_gate_evals(touched);
+        crate::stats::add_events_skipped(self.cc.num_gates() as u64 - touched);
+        for gid in s.queued.drain(..) {
+            s.in_queue[gid.index()] = false;
+        }
+    }
+}
+
+/// Enqueues `gid` for re-evaluation (once); returns its level.
+#[inline]
+fn schedule(s: &mut SimScratch, gid: GateId, cc: &CompiledCircuit) -> u32 {
+    let level = cc.gate_level(gid);
+    if !s.in_queue[gid.index()] {
+        s.in_queue[gid.index()] = true;
+        s.queued.push(gid);
+        s.buckets[level as usize].push(gid);
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comb::CombSim;
+    use crate::fault::{Fault, FaultSite, FaultUniverse};
+    use crate::logic::V3;
+    use atspeed_circuit::bench_fmt::s27;
+    use atspeed_circuit::synth::{generate, SynthSpec};
+    use atspeed_circuit::Netlist;
+
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut x = seed | 1;
+        move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+    }
+
+    fn random_w3(r: &mut impl FnMut() -> u64) -> W3 {
+        // Random mix of 0/1/X per slot, dual-rail consistent.
+        let a = r();
+        let b = r();
+        W3 {
+            zero: a & !b,
+            one: !a & b,
+        }
+    }
+
+    fn seed_sources(nl: &Netlist, s: &mut SimScratch, r: &mut impl FnMut() -> u64) {
+        for &pi in nl.pis() {
+            s.set_source(pi, random_w3(r));
+        }
+        for ff in nl.ffs() {
+            s.set_source(ff.q(), random_w3(r));
+        }
+    }
+
+    #[test]
+    fn full_pass_matches_legacy_walker() {
+        for nl in [
+            s27(),
+            generate(&SynthSpec::new("k", 6, 4, 9, 200, 7)).unwrap(),
+        ] {
+            let cc = nl.compiled();
+            let sim = CompiledSim::new(cc);
+            let mut legacy = CombSim::new(&nl);
+            let mut s = SimScratch::new(cc);
+            let mut r = rng(0xfeed);
+            for _ in 0..10 {
+                seed_sources(&nl, &mut s, &mut r);
+                let mut vals = s.values().to_vec();
+                sim.eval(&mut s);
+                legacy.eval(&mut vals);
+                assert_eq!(s.values(), vals.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn full_pass_with_overrides_matches_legacy_walker() {
+        let nl = generate(&SynthSpec::new("ko", 6, 4, 9, 200, 13)).unwrap();
+        let cc = nl.compiled();
+        let u = FaultUniverse::full(&nl);
+        let sim = CompiledSim::new(cc);
+        let mut legacy = CombSim::new(&nl);
+        let mut s = SimScratch::new(cc);
+        let mut ov = Overrides::new(&nl);
+        let mut r = rng(0xbeef);
+        let faults: Vec<_> = u.all_ids().collect();
+        for chunk in faults.chunks(63) {
+            ov.clear();
+            for (k, &fid) in chunk.iter().enumerate() {
+                ov.add(u.fault(fid), 1u64 << (k + 1));
+            }
+            seed_sources(&nl, &mut s, &mut r);
+            let mut vals = s.values().to_vec();
+            sim.eval_with(&mut s, &ov);
+            legacy.eval_with(&mut vals, &ov);
+            assert_eq!(s.values(), vals.as_slice());
+        }
+    }
+
+    #[test]
+    fn delta_pass_matches_full_pass() {
+        let nl = generate(&SynthSpec::new("kd", 6, 4, 9, 200, 21)).unwrap();
+        let cc = nl.compiled();
+        let sim = CompiledSim::new(cc);
+        let mut fast = SimScratch::new(cc);
+        let mut slow = SimScratch::new(cc);
+        let mut r = rng(0xabc);
+        seed_sources(&nl, &mut fast, &mut r);
+        sim.eval(&mut fast);
+        for round in 0..20 {
+            // Change a few sources only; occasionally none at all.
+            let n = round % 4;
+            for _ in 0..n {
+                let pick = (r() as usize) % (nl.num_pis() + nl.num_ffs());
+                let net = if pick < nl.num_pis() {
+                    nl.pis()[pick]
+                } else {
+                    nl.ffs()[pick - nl.num_pis()].q()
+                };
+                fast.set_source(net, random_w3(&mut r));
+            }
+            sim.eval_delta(&mut fast);
+            for net in nl.net_ids() {
+                slow.set_untracked(net, fast.value(net));
+            }
+            sim.eval(&mut slow);
+            assert_eq!(fast.values(), slow.values(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn delta_pass_with_overrides_matches_full_pass() {
+        let nl = generate(&SynthSpec::new("kdo", 6, 4, 9, 200, 33)).unwrap();
+        let cc = nl.compiled();
+        let u = FaultUniverse::full(&nl);
+        let sim = CompiledSim::new(cc);
+        let mut fast = SimScratch::new(cc);
+        let mut r = rng(0x777);
+        let faults: Vec<_> = u.representatives().to_vec();
+        for chunk in faults.chunks(63) {
+            let mut ov = Overrides::new(&nl);
+            for (k, &fid) in chunk.iter().enumerate() {
+                ov.add(u.fault(fid), 1u64 << (k + 1));
+            }
+            seed_sources(&nl, &mut fast, &mut r);
+            sim.eval_with(&mut fast, &ov);
+            for _ in 0..5 {
+                seed_sources(&nl, &mut fast, &mut r);
+                sim.eval_delta_with(&mut fast, &ov);
+                let mut slow = SimScratch::new(cc);
+                for &pi in nl.pis() {
+                    slow.set_untracked(pi, fast.value(pi));
+                }
+                for ff in nl.ffs() {
+                    slow.set_untracked(ff.q(), fast.value(ff.q()));
+                }
+                sim.eval_with(&mut slow, &ov);
+                assert_eq!(fast.values(), slow.values());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_with_source_stem_override_tracks_reseed() {
+        // A stem fault on a PI must keep forcing the faulty slot across
+        // delta re-seeds of that same PI.
+        let nl = s27();
+        let cc = nl.compiled();
+        let sim = CompiledSim::new(cc);
+        let pi = nl.pis()[0];
+        let mut ov = Overrides::new(&nl);
+        ov.add(
+            Fault {
+                site: FaultSite::Stem(pi),
+                stuck: true,
+            },
+            0b10,
+        );
+        let mut s = SimScratch::new(cc);
+        for &p in nl.pis() {
+            s.set_source(p, W3::ALL_ZERO);
+        }
+        for ff in nl.ffs() {
+            s.set_source(ff.q(), W3::ALL_ZERO);
+        }
+        sim.eval_with(&mut s, &ov);
+        assert_eq!(s.value(pi).get(1), V3::One);
+        // Reseed the faulty PI to 0 again; the override must re-apply.
+        s.set_source(pi, W3::ALL_ZERO);
+        sim.eval_delta_with(&mut s, &ov);
+        assert_eq!(s.value(pi).get(0), V3::Zero);
+        assert_eq!(s.value(pi).get(1), V3::One);
+    }
+
+    #[test]
+    fn set_source_records_no_event_for_equal_value() {
+        let nl = s27();
+        let cc = nl.compiled();
+        let sim = CompiledSim::new(cc);
+        let mut s = SimScratch::new(cc);
+        for &p in nl.pis() {
+            s.set_source(p, W3::ALL_ONE);
+        }
+        for ff in nl.ffs() {
+            s.set_source(ff.q(), W3::ALL_ONE);
+        }
+        sim.eval(&mut s);
+        let before = s.values().to_vec();
+        // Identical reseed: the delta pass must be a no-op.
+        for &p in nl.pis() {
+            s.set_source(p, W3::ALL_ONE);
+        }
+        sim.eval_delta(&mut s);
+        assert_eq!(s.values(), before.as_slice());
+    }
+}

@@ -46,6 +46,7 @@ pub mod comb;
 pub mod fault;
 pub mod fsim_comb;
 pub mod fsim_seq;
+pub mod kernel;
 pub mod logic;
 pub mod parallel;
 pub mod stats;
@@ -57,6 +58,7 @@ pub use comb::{CombSim, Overrides};
 pub use fault::{Fault, FaultId, FaultSite, FaultUniverse};
 pub use fsim_comb::{CombFaultSim, CombTest};
 pub use fsim_seq::{DetectionProfile, FinalObserve, SeqFaultSim, SeqSim};
+pub use kernel::{CompiledSim, SimScratch};
 pub use logic::{V3, W3};
 pub use parallel::{ParallelFsim, SimConfig};
 pub use stats::{PhaseStats, SimReport};

@@ -212,23 +212,36 @@ impl<'a> ParallelFsim<'a> {
     /// Runs `work` over every partition on `threads` scoped workers,
     /// claiming partitions from a shared queue; collects each partition's
     /// result with its index.
-    fn run_partitioned<R, W>(&self, parts: &[Vec<usize>], threads: usize, work: W) -> Vec<R>
+    ///
+    /// Each worker builds its engine (and thus its simulation scratch —
+    /// value arrays, event buckets) ONCE via `mk` and reuses it across
+    /// every partition it claims, so claiming a partition costs no
+    /// allocation.
+    fn run_partitioned<S, R, F, W>(
+        &self,
+        parts: &[Vec<usize>],
+        threads: usize,
+        mk: F,
+        work: W,
+    ) -> Vec<R>
     where
         R: Send + Default + Clone,
-        W: Fn(&[usize]) -> R + Sync,
+        F: Fn() -> S + Sync,
+        W: Fn(&mut S, &[usize]) -> R + Sync,
     {
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<R>> = Mutex::new(vec![R::default(); parts.len()]);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
+                    let mut engine = mk();
                     loop {
                         let p = next.fetch_add(1, Ordering::Relaxed);
                         if p >= parts.len() {
                             break;
                         }
                         let started = Instant::now();
-                        let r = work(&parts[p]);
+                        let r = work(&mut engine, &parts[p]);
                         stats::record_partition(started.elapsed());
                         results.lock().unwrap_or_else(|e| e.into_inner())[p] = r;
                     }
@@ -262,12 +275,16 @@ impl<'a> ParallelFsim<'a> {
         );
         let parts =
             self.fault_partitions(faults, universe, self.fault_units(faults.len(), threads));
-        let masks = self.run_partitioned(&parts, threads, |part| {
-            stats::add_invocation();
-            let mut sim = CombFaultSim::new(self.nl);
-            let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
-            sim.detect_block(tests, &ids, universe)
-        });
+        let masks = self.run_partitioned(
+            &parts,
+            threads,
+            || CombFaultSim::new(self.nl),
+            |sim, part| {
+                stats::add_invocation();
+                let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
+                sim.detect_block(tests, &ids, universe)
+            },
+        );
         let mut out = vec![0u64; faults.len()];
         for (part, ms) in parts.iter().zip(masks) {
             for (&k, m) in part.iter().zip(ms) {
@@ -354,12 +371,16 @@ impl<'a> ParallelFsim<'a> {
         let words = tests.len().div_ceil(64);
         let parts =
             self.fault_partitions(faults, universe, self.fault_units(faults.len(), threads));
-        let rows = self.run_partitioned(&parts, threads, |part| {
-            stats::add_invocation();
-            let mut sim = CombFaultSim::new(self.nl);
-            let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
-            sim.detect_matrix(tests, &ids, universe)
-        });
+        let rows = self.run_partitioned(
+            &parts,
+            threads,
+            || CombFaultSim::new(self.nl),
+            |sim, part| {
+                stats::add_invocation();
+                let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
+                sim.detect_matrix(tests, &ids, universe)
+            },
+        );
         let mut out = vec![vec![0u64; words]; faults.len()];
         for (part, rs) in parts.iter().zip(rows) {
             for (&k, row) in part.iter().zip(rs) {
@@ -401,11 +422,15 @@ impl<'a> ParallelFsim<'a> {
         }
         let parts =
             self.fault_partitions(faults, universe, self.fault_units(faults.len(), threads));
-        let dets = self.run_partitioned(&parts, threads, |part| {
-            let mut sim = SeqFaultSim::new(self.nl);
-            let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
-            sim.detect_observed(init, seq, &ids, universe, observe)
-        });
+        let dets = self.run_partitioned(
+            &parts,
+            threads,
+            || SeqFaultSim::new(self.nl),
+            |sim, part| {
+                let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
+                sim.detect_observed(init, seq, &ids, universe, observe)
+            },
+        );
         let mut out = vec![false; faults.len()];
         for (part, ds) in parts.iter().zip(dets) {
             for (&k, d) in part.iter().zip(ds) {
@@ -429,11 +454,15 @@ impl<'a> ParallelFsim<'a> {
         }
         let parts =
             self.fault_partitions(faults, universe, self.fault_units(faults.len(), threads));
-        let profs = self.run_partitioned(&parts, threads, |part| {
-            let mut sim = SeqFaultSim::new(self.nl);
-            let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
-            sim.profiles(init, seq, &ids, universe)
-        });
+        let profs = self.run_partitioned(
+            &parts,
+            threads,
+            || SeqFaultSim::new(self.nl),
+            |sim, part| {
+                let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
+                sim.profiles(init, seq, &ids, universe)
+            },
+        );
         let mut out = vec![DetectionProfile::default(); faults.len()];
         for (part, ps) in parts.iter().zip(profs) {
             for (&k, p) in part.iter().zip(ps) {

@@ -34,6 +34,7 @@ thread_local! {
     static GATE_EVALS: Cell<u64> = const { Cell::new(0) };
     static INVOCATIONS: Cell<u64> = const { Cell::new(0) };
     static DROPPED: Cell<u64> = const { Cell::new(0) };
+    static EVENTS_SKIPPED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Counters merged for one phase.
@@ -45,6 +46,9 @@ pub struct PhaseStats {
     pub fsim_invocations: u64,
     /// Faults dropped after detection.
     pub faults_dropped: u64,
+    /// Gate evaluations an event-driven pass avoided (gates outside the
+    /// propagated cone that a full levelized pass would have computed).
+    pub events_skipped: u64,
     /// Wall time attributed to the phase.
     pub wall: Duration,
     /// Parallel partitions run during the phase.
@@ -91,6 +95,13 @@ pub fn add_dropped(n: u64) {
     DROPPED.with(|c| c.set(c.get().wrapping_add(n)));
 }
 
+/// Adds `n` skipped gate evaluations (event-driven savings) to this
+/// thread's pending counts.
+#[inline]
+pub fn add_events_skipped(n: u64) {
+    EVENTS_SKIPPED.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
 /// Merges this thread's pending counts into the current phase.
 ///
 /// Worker threads must call this before exiting; the orchestrating thread
@@ -99,7 +110,8 @@ pub fn flush() {
     let ge = GATE_EVALS.with(|c| c.replace(0));
     let inv = INVOCATIONS.with(|c| c.replace(0));
     let dr = DROPPED.with(|c| c.replace(0));
-    if ge == 0 && inv == 0 && dr == 0 {
+    let sk = EVENTS_SKIPPED.with(|c| c.replace(0));
+    if ge == 0 && inv == 0 && dr == 0 && sk == 0 {
         return;
     }
     with_registry(|reg| {
@@ -107,6 +119,7 @@ pub fn flush() {
         entry.gate_evals += ge;
         entry.fsim_invocations += inv;
         entry.faults_dropped += dr;
+        entry.events_skipped += sk;
     });
 }
 
@@ -142,6 +155,7 @@ pub fn reset() {
     GATE_EVALS.with(|c| c.set(0));
     INVOCATIONS.with(|c| c.set(0));
     DROPPED.with(|c| c.set(0));
+    EVENTS_SKIPPED.with(|c| c.set(0));
     with_registry(|reg| {
         reg.phases.clear();
         reg.current = "unattributed".to_string();
@@ -180,6 +194,20 @@ pub struct SimReport {
     pub phases: Vec<(String, PhaseStats)>,
 }
 
+impl PhaseStats {
+    /// Gate evaluations per second of phase wall time (0.0 when no wall
+    /// time was recorded). The headline throughput figure for comparing
+    /// the legacy, compiled, and event-driven kernels.
+    pub fn gate_evals_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.gate_evals as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 impl SimReport {
     /// Sums the counters across phases.
     pub fn totals(&self) -> PhaseStats {
@@ -188,6 +216,7 @@ impl SimReport {
             t.gate_evals += s.gate_evals;
             t.fsim_invocations += s.fsim_invocations;
             t.faults_dropped += s.faults_dropped;
+            t.events_skipped += s.events_skipped;
             t.wall += s.wall;
             t.partitions += s.partitions;
             t.partition_wall_total += s.partition_wall_total;
@@ -209,12 +238,15 @@ impl SimReport {
         for (i, (name, s)) in self.phases.iter().enumerate() {
             out.push_str(&format!(
                 "  \"{}\": {{\"gate_evals\": {}, \"fsim_invocations\": {}, \
-                 \"faults_dropped\": {}, \"wall_us\": {}, \"partitions\": {}, \
+                 \"faults_dropped\": {}, \"events_skipped\": {}, \
+                 \"gate_evals_per_sec\": {:.1}, \"wall_us\": {}, \"partitions\": {}, \
                  \"partition_wall_total_us\": {}, \"partition_wall_max_us\": {}}}{}\n",
                 esc(name),
                 s.gate_evals,
                 s.fsim_invocations,
                 s.faults_dropped,
+                s.events_skipped,
+                s.gate_evals_per_sec(),
                 s.wall.as_micros(),
                 s.partitions,
                 s.partition_wall_total.as_micros(),
@@ -231,17 +263,27 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<18} {:>14} {:>8} {:>9} {:>10} {:>6} {:>10}",
-            "phase", "gate evals", "fsims", "dropped", "wall", "parts", "part max"
+            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11} {:>10} {:>6} {:>10}",
+            "phase",
+            "gate evals",
+            "fsims",
+            "dropped",
+            "evts skipped",
+            "evals/s",
+            "wall",
+            "parts",
+            "part max"
         )?;
         for (name, s) in &self.phases {
             writeln!(
                 f,
-                "{:<18} {:>14} {:>8} {:>9} {:>10.2?} {:>6} {:>10.2?}",
+                "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?}",
                 name,
                 s.gate_evals,
                 s.fsim_invocations,
                 s.faults_dropped,
+                s.events_skipped,
+                s.gate_evals_per_sec(),
                 s.wall,
                 s.partitions,
                 s.partition_wall_max
@@ -250,11 +292,13 @@ impl fmt::Display for SimReport {
         let t = self.totals();
         writeln!(
             f,
-            "{:<18} {:>14} {:>8} {:>9} {:>10.2?} {:>6} {:>10.2?}",
+            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?}",
             "total",
             t.gate_evals,
             t.fsim_invocations,
             t.faults_dropped,
+            t.events_skipped,
+            t.gate_evals_per_sec(),
             t.wall,
             t.partitions,
             t.partition_wall_max
@@ -277,6 +321,7 @@ mod tests {
         add_dropped(3);
         set_phase("beta");
         add_gate_evals(5);
+        add_events_skipped(7);
         record_partition(Duration::from_millis(2));
         record_partition(Duration::from_millis(4));
         let r = report();
@@ -286,14 +331,19 @@ mod tests {
         assert_eq!(alpha.faults_dropped, 3);
         let beta = &r.phases.iter().find(|(n, _)| n == "beta").unwrap().1;
         assert_eq!(beta.gate_evals, 5);
+        assert_eq!(beta.events_skipped, 7);
+        assert!(beta.gate_evals_per_sec() > 0.0, "beta has wall time");
         assert_eq!(beta.partitions, 2);
         assert_eq!(beta.partition_wall_max, Duration::from_millis(4));
         assert_eq!(beta.partition_wall_total, Duration::from_millis(6),);
         let t = r.totals();
         assert_eq!(t.gate_evals, 15);
+        assert_eq!(t.events_skipped, 7);
         let json = r.to_json();
         assert!(json.contains("\"alpha\""));
         assert!(json.contains("\"gate_evals\": 10"));
+        assert!(json.contains("\"events_skipped\": 7"));
+        assert!(json.contains("\"gate_evals_per_sec\""));
         assert!(!format!("{r}").is_empty());
         reset();
         assert!(report().phases.is_empty());

@@ -22,8 +22,9 @@
 
 use atspeed_circuit::{NetId, Netlist};
 
-use crate::comb::{CombSim, Overrides};
+use crate::comb::Overrides;
 use crate::fault::{Fault, FaultSite};
+use crate::kernel::{CompiledSim, SimScratch};
 use crate::logic::{V3, W3};
 use crate::vectors::{Sequence, State};
 
@@ -67,21 +68,27 @@ pub fn all_transition_faults(nl: &Netlist) -> Vec<TransitionFault> {
 }
 
 /// Parallel-fault transition-delay fault simulator for scan tests.
+///
+/// Runs over the compiled kernel: the fault-free machine advances
+/// event-driven between cycles, while the faulty machine takes a full
+/// compiled pass each cycle (the armed-fault override set changes every
+/// cycle, which invalidates the delta path's fixed-override premise).
 #[derive(Debug)]
 pub struct TransitionFaultSim<'a> {
     nl: &'a Netlist,
-    vals: Vec<W3>,
-    prev_vals: Vec<W3>,
+    good: SimScratch,
+    faulty: SimScratch,
     ov: Overrides,
 }
 
 impl<'a> TransitionFaultSim<'a> {
     /// Creates a simulator for `nl`.
     pub fn new(nl: &'a Netlist) -> Self {
+        let cc = nl.compiled();
         TransitionFaultSim {
             nl,
-            vals: vec![W3::ALL_X; nl.num_nets()],
-            prev_vals: vec![W3::ALL_X; nl.num_nets()],
+            good: SimScratch::new(cc),
+            faulty: SimScratch::new(cc),
             ov: Overrides::new(nl),
         }
     }
@@ -141,7 +148,8 @@ impl<'a> TransitionFaultSim<'a> {
 
     fn detect_chunk(&mut self, si: &State, seq: &Sequence, chunk: &[TransitionFault]) -> u64 {
         let nl = self.nl;
-        let sim = CombSim::new(nl);
+        let cc = nl.compiled();
+        let sim = CompiledSim::new(cc);
         let active: u64 = if chunk.len() == 63 {
             !1u64
         } else {
@@ -163,14 +171,20 @@ impl<'a> TransitionFaultSim<'a> {
 
         for t in 0..seq.len() {
             let vec = seq.vector(t);
-            // Fault-free evaluation of cycle t (slot 0 view).
-            for (i, &pi) in nl.pis().iter().enumerate() {
-                self.prev_vals[pi.index()] = W3::broadcast(vec[i]);
+            // Fault-free evaluation of cycle t (slot 0 view). The good
+            // machine has no overrides, so after a full first-cycle pass it
+            // can advance event-driven on the changed sources alone.
+            for (i, &pi) in cc.pis().iter().enumerate() {
+                self.good.set_source(pi, W3::broadcast(vec[i]));
             }
-            for (f, ff) in nl.ffs().iter().enumerate() {
-                self.prev_vals[ff.q().index()] = good_state[f];
+            for (f, &q) in cc.ff_qs().iter().enumerate() {
+                self.good.set_source(q, good_state[f]);
             }
-            sim.eval(&mut self.prev_vals);
+            if t == 0 {
+                sim.eval(&mut self.good);
+            } else {
+                sim.eval_delta(&mut self.good);
+            }
 
             // Arm faults whose site transitions in the fault direction
             // between t-1 and t (launch at t-1, capture at t).
@@ -179,7 +193,7 @@ impl<'a> TransitionFaultSim<'a> {
             if t >= 1 {
                 for (k, f) in chunk.iter().enumerate() {
                     let before = prev_good[f.net.index()];
-                    let now = self.prev_vals[f.net.index()].get(0);
+                    let now = self.good.value(f.net).get(0);
                     let launches = match (before, now) {
                         (V3::Zero, V3::One) => f.rising,
                         (V3::One, V3::Zero) => !f.rising,
@@ -197,20 +211,21 @@ impl<'a> TransitionFaultSim<'a> {
 
             // Faulty evaluation of cycle t with armed faults injected;
             // previously latched corruption keeps propagating through the
-            // per-slot flip-flop state.
-            for (i, &pi) in nl.pis().iter().enumerate() {
-                self.vals[pi.index()] = W3::broadcast(vec[i]);
+            // per-slot flip-flop state. The armed override set changes every
+            // cycle, so this machine always takes a full pass.
+            for (i, &pi) in cc.pis().iter().enumerate() {
+                self.faulty.set_untracked(pi, W3::broadcast(vec[i]));
             }
-            for (f, ff) in nl.ffs().iter().enumerate() {
-                self.vals[ff.q().index()] = faulty_state[f];
+            for (f, &q) in cc.ff_qs().iter().enumerate() {
+                self.faulty.set_untracked(q, faulty_state[f]);
             }
-            sim.eval_with(&mut self.vals, &self.ov);
+            sim.eval_with(&mut self.faulty, &self.ov);
 
             // Observe primary outputs.
             let mut diff = 0u64;
-            for &po in nl.pos() {
-                let w = self.vals[po.index()];
-                match self.prev_vals[po.index()].get(0) {
+            for &po in cc.pos() {
+                let w = self.faulty.value(po);
+                match self.good.value(po).get(0) {
                     V3::One => diff |= w.zero,
                     V3::Zero => diff |= w.one,
                     V3::X => {}
@@ -221,9 +236,9 @@ impl<'a> TransitionFaultSim<'a> {
             // Capture both machines; the faulty machine carries latched
             // fault effects forward (a late transition corrupts the
             // captured value permanently).
-            for (f, ff) in nl.ffs().iter().enumerate() {
-                good_state[f] = self.prev_vals[ff.d().index()];
-                faulty_state[f] = self.vals[ff.d().index()];
+            for (f, &d) in cc.ff_ds().iter().enumerate() {
+                good_state[f] = self.good.value(d);
+                faulty_state[f] = self.faulty.value(d);
             }
 
             // Scan-out observation at the last cycle.
@@ -241,7 +256,7 @@ impl<'a> TransitionFaultSim<'a> {
             }
 
             for net in nl.net_ids() {
-                prev_good[net.index()] = self.prev_vals[net.index()].get(0);
+                prev_good[net.index()] = self.good.value(net).get(0);
             }
             if caught == active {
                 break;

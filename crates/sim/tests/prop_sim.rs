@@ -49,7 +49,7 @@ proptest! {
     /// slot alone (slot independence of the packed evaluator).
     #[test]
     fn packed_slots_are_independent(nl in arb_netlist(), seed in any::<u64>()) {
-        let sim = CombSim::new(&nl);
+        let mut sim = CombSim::new(&nl);
         let mut rng = seed;
         let mut next = move || {
             rng ^= rng << 13;
