@@ -123,6 +123,7 @@ pub fn generate(
     let mut alive: Vec<FaultId> = reps.clone();
 
     // Phase 1: random patterns.
+    let sp_random = atspeed_trace::span("comb.random-phase");
     let mut stale = 0usize;
     for _ in 0..cfg.random_max_blocks {
         if alive.is_empty() || stale >= cfg.random_stale_blocks {
@@ -156,7 +157,10 @@ pub fn generate(
         stale = if kept_any { 0 } else { stale + 1 };
     }
 
+    drop(sp_random);
+
     // Phase 2: a deterministic engine for the random-resistant residue.
+    let sp_det = atspeed_trace::span("comb.deterministic-phase");
     let mut podem = Podem::new(nl, cfg.podem);
     let sat = SatAtpg::new(nl, SatAtpgConfig::default());
     let mut deterministic = |fault| -> PodemOutcome {
@@ -204,8 +208,11 @@ pub fn generate(
         }
     }
 
+    drop(sp_det);
+
     // Phase 3: reverse-order compaction.
     if cfg.reverse_compact && !tests.is_empty() {
+        let _sp = atspeed_trace::span("comb.reverse-compact");
         tests = reverse_order_compact(&sim, tests, &reps, universe);
     }
 

@@ -11,6 +11,7 @@
 use atspeed_circuit::{CompiledCircuit, Driver, NetId, Netlist};
 use atspeed_sim::fault::{Fault, FaultSite};
 use atspeed_sim::{CombTest, V3};
+use atspeed_trace::{Counter, Histogram};
 
 use crate::scoap::Scoap;
 
@@ -60,6 +61,32 @@ pub struct Podem<'a> {
     observables: Vec<NetId>,
     /// SCOAP measures guiding the backtrace input choices.
     scoap: Scoap,
+    /// Per-fault search metrics, resolved once from the global registry so
+    /// the per-fault hot path never takes the registry lock.
+    metrics: PodemMetrics,
+}
+
+/// Handles into the global metrics registry for PODEM search telemetry.
+#[derive(Debug)]
+struct PodemMetrics {
+    backtracks: Histogram,
+    decision_depth: Histogram,
+    tests: Counter,
+    untestable: Counter,
+    aborted: Counter,
+}
+
+impl PodemMetrics {
+    fn resolve() -> Self {
+        let m = atspeed_trace::metrics::global();
+        PodemMetrics {
+            backtracks: m.histogram("podem/backtracks"),
+            decision_depth: m.histogram("podem/decision_depth"),
+            tests: m.counter("podem/tests"),
+            untestable: m.counter("podem/untestable"),
+            aborted: m.counter("podem/aborted"),
+        }
+    }
 }
 
 impl<'a> Podem<'a> {
@@ -80,20 +107,45 @@ impl<'a> Podem<'a> {
             faulty: vec![V3::X; cc.num_nets()],
             observables,
             scoap: Scoap::compute_with(cc),
+            metrics: PodemMetrics::resolve(),
         }
     }
 
     /// Attempts to generate a test for `fault`.
+    ///
+    /// Each call is one span (`"podem"`) when tracing is enabled, and
+    /// records the search's backtrack count and maximum decision depth in
+    /// the global metric histograms, plus one outcome counter.
     pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
+        let _sp = atspeed_trace::span("podem");
+        let mut backtracks = 0usize;
+        let mut max_depth = 0usize;
+        let outcome = self.search(fault, &mut backtracks, &mut max_depth);
+        self.metrics.backtracks.record(backtracks as u64);
+        self.metrics.decision_depth.record(max_depth as u64);
+        match outcome {
+            PodemOutcome::Test(_) => self.metrics.tests.inc(),
+            PodemOutcome::Untestable => self.metrics.untestable.inc(),
+            PodemOutcome::Aborted => self.metrics.aborted.inc(),
+        }
+        outcome
+    }
+
+    fn search(
+        &mut self,
+        fault: Fault,
+        backtracks_out: &mut usize,
+        max_depth_out: &mut usize,
+    ) -> PodemOutcome {
         self.assignment.fill(V3::X);
         self.simulate(fault);
 
         // Decision: (input index, value, flipped-already).
         let mut decisions: Vec<(usize, bool, bool)> = Vec::new();
         let mut backtracks = 0usize;
-        loop {
+        let outcome = loop {
             if self.error_observed(fault) {
-                return PodemOutcome::Test(self.make_test());
+                break PodemOutcome::Test(self.make_test());
             }
             let step = self
                 .objective(fault)
@@ -101,31 +153,44 @@ impl<'a> Podem<'a> {
             match step {
                 Some((input, value)) => {
                     decisions.push((input, value, false));
+                    *max_depth_out = (*max_depth_out).max(decisions.len());
                     self.assignment[input] = V3::from_bool(value);
                     self.simulate(fault);
                 }
-                None => loop {
-                    match decisions.pop() {
-                        None => return PodemOutcome::Untestable,
-                        Some((input, _, true)) => {
-                            self.assignment[input] = V3::X;
-                        }
-                        Some((input, value, false)) => {
-                            backtracks += 1;
-                            if backtracks > self.cfg.backtrack_limit {
-                                // Restore a clean assignment before leaving.
-                                self.assignment.fill(V3::X);
-                                return PodemOutcome::Aborted;
+                None => {
+                    let mut verdict = None;
+                    loop {
+                        match decisions.pop() {
+                            None => {
+                                verdict = Some(PodemOutcome::Untestable);
+                                break;
                             }
-                            decisions.push((input, !value, true));
-                            self.assignment[input] = V3::from_bool(!value);
-                            self.simulate(fault);
-                            break;
+                            Some((input, _, true)) => {
+                                self.assignment[input] = V3::X;
+                            }
+                            Some((input, value, false)) => {
+                                backtracks += 1;
+                                if backtracks > self.cfg.backtrack_limit {
+                                    // Restore a clean assignment before leaving.
+                                    self.assignment.fill(V3::X);
+                                    verdict = Some(PodemOutcome::Aborted);
+                                    break;
+                                }
+                                decisions.push((input, !value, true));
+                                self.assignment[input] = V3::from_bool(!value);
+                                self.simulate(fault);
+                                break;
+                            }
                         }
                     }
-                },
+                    if let Some(v) = verdict {
+                        break v;
+                    }
+                }
             }
-        }
+        };
+        *backtracks_out = backtracks;
+        outcome
     }
 
     /// The net whose value excites the fault (must be driven to the

@@ -323,21 +323,25 @@ impl<'a> IncrementalSim<'a> {
         }
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, usize)>> = Mutex::new(vec![(0, 0); cands.len()]);
+        // Workers join the spawning thread's stats scope; the enter guard
+        // flushes their batched partition tallies once, on exit.
+        let h = stats::handle();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
+                    let _g = h.enter();
                     let mut vals = vec![W3::ALL_X; self.nl.num_nets()];
                     loop {
                         let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= cands.len() {
                             break;
                         }
+                        let _sp = atspeed_trace::span("tgen.score.claim");
                         let started = std::time::Instant::now();
                         let r = self.score_in(&mut vals, &cands[k], sample);
                         stats::record_partition(started.elapsed());
                         results.lock().unwrap_or_else(|e| e.into_inner())[k] = r;
                     }
-                    stats::flush();
                 });
             }
         });
@@ -385,11 +389,14 @@ pub fn directed_t0(
     targets: &[FaultId],
     cfg: &DirectedConfig,
 ) -> Sequence {
+    let _sp = atspeed_trace::span("t0.directed");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut inc = IncrementalSim::new(nl, universe, targets);
     let mut seq = Sequence::new();
     let mut plateau = 0usize;
+    let steps = atspeed_trace::metrics::global().counter("tgen/directed_steps");
     while seq.len() < cfg.max_len && plateau < cfg.plateau_limit && !inc.all_detected() {
+        steps.inc();
         let cands: Vec<Vec<V3>> = (0..cfg.candidates.max(1))
             .map(|_| {
                 (0..nl.num_pis())
@@ -427,10 +434,14 @@ pub fn property_t0(
     targets: &[FaultId],
     cfg: &PropertyConfig,
 ) -> Sequence {
+    let _sp = atspeed_trace::span("t0.property");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut inc = IncrementalSim::new(nl, universe, targets);
     let mut seq = Sequence::new();
     let mut stale = 0usize;
+    let m = atspeed_trace::metrics::global();
+    let kept = m.counter("tgen/property_bursts_kept");
+    let rolled_back = m.counter("tgen/property_bursts_rolled_back");
     while seq.len() < cfg.max_len && stale < cfg.stale_bursts && !inc.all_detected() {
         let burst_len = cfg.burst.max(1).min(cfg.max_len - seq.len());
         let burst: Vec<Vec<V3>> = (0..burst_len)
@@ -458,11 +469,13 @@ pub fn property_t0(
             }
             inc.total_detected = total_before;
             stale += 1;
+            rolled_back.inc();
         } else {
             for v in burst {
                 seq.push(v);
             }
             stale = 0;
+            kept.inc();
         }
     }
     seq

@@ -230,7 +230,8 @@ fn emit_json(circuits: &[(BenchmarkInfo, Vec<KernelRow>)], rounds: usize, repeat
     }
     match std::fs::write(&path, &out) {
         Ok(()) => println!("kernel summary written to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+        Err(e) => atspeed_trace::warn!("bench.kernels", "could not write kernel summary";
+            path = path, error = e),
     }
 }
 

@@ -1,53 +1,114 @@
+//! Stage-by-stage timing of the pipeline on one catalog circuit.
+//!
+//! Usage:
+//!
+//! ```text
+//! calibrate [CIRCUIT] [--trace FILE] [--metrics-json FILE] [--log LEVEL]
+//! ```
+//!
+//! Runs each pipeline stage in sequence on `CIRCUIT` (default `s298`) and
+//! logs one structured event per stage with its wall time and headline
+//! figures. `--trace FILE` additionally records spans as Chrome
+//! trace-event JSON (open at <https://ui.perfetto.dev>); `--metrics-json
+//! FILE` dumps the metrics registry; `--log LEVEL` filters the run log.
+
 use atspeed_atpg::comb_tset::{self, CombTsetConfig};
 use atspeed_atpg::{directed_t0, DirectedConfig};
+use atspeed_bench::telemetry::TelemetryArgs;
 use atspeed_circuit::catalog;
 use atspeed_core::iterate::{build_tau_seq, IterateConfig};
 use atspeed_core::phase3::top_up;
 use atspeed_sim::fault::FaultUniverse;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s298".into());
-    let nl = catalog::by_name(&name).unwrap().instantiate();
+fn main() -> ExitCode {
+    let mut name = "s298".to_owned();
+    let mut telemetry = TelemetryArgs::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match telemetry.consume(a.as_str(), &mut it) {
+            Ok(true) => {}
+            Ok(false) if a == "--help" || a == "-h" => {
+                eprintln!(
+                    "usage: calibrate [CIRCUIT] [--trace FILE] [--metrics-json FILE] [--log LEVEL]"
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(false) => name = a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    telemetry.init();
+    atspeed_sim::stats::reset();
+
+    let nl = match catalog::by_name(&name) {
+        Ok(info) => info.instantiate(),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut t = Instant::now();
+    atspeed_sim::stats::set_phase("universe");
     let u = FaultUniverse::full(&nl);
     let targets = u.representatives().to_vec();
-    eprintln!(
-        "universe: {:?} ({} collapsed)",
-        t.elapsed(),
-        u.num_collapsed()
+    atspeed_trace::info!("bench.calibrate", "universe built";
+        circuit = name,
+        wall_us = t.elapsed().as_micros(),
+        collapsed = u.num_collapsed(),
     );
 
     t = Instant::now();
+    atspeed_sim::stats::set_phase("comb-gen");
     let c = comb_tset::generate(&nl, &u, &CombTsetConfig::default()).unwrap();
-    eprintln!(
-        "comb tset: {:?} ({} tests, {} unt, {} ab)",
-        t.elapsed(),
-        c.tests.len(),
-        c.untestable.len(),
-        c.aborted.len()
+    atspeed_trace::info!("bench.calibrate", "comb tset generated";
+        wall_us = t.elapsed().as_micros(),
+        tests = c.tests.len(),
+        untestable = c.untestable.len(),
+        aborted = c.aborted.len(),
     );
 
     t = Instant::now();
+    atspeed_sim::stats::set_phase("t0-gen");
     let t0 = directed_t0(&nl, &u, &targets, &DirectedConfig::default());
-    eprintln!("directed t0: {:?} (len {})", t.elapsed(), t0.len());
-
-    t = Instant::now();
-    let tau = build_tau_seq(&nl, &u, &t0, &c.tests, &targets, IterateConfig::default()).unwrap();
-    eprintln!(
-        "tau_seq: {:?} (len {}, {} det, {} iters)",
-        t.elapsed(),
-        tau.test.len(),
-        tau.detected.len(),
-        tau.iterations
+    atspeed_trace::info!("bench.calibrate", "directed t0 generated";
+        wall_us = t.elapsed().as_micros(),
+        len = t0.len(),
     );
 
     t = Instant::now();
+    atspeed_sim::stats::set_phase("phase1-2");
+    let tau = build_tau_seq(&nl, &u, &t0, &c.tests, &targets, IterateConfig::default()).unwrap();
+    atspeed_trace::info!("bench.calibrate", "tau_seq built";
+        wall_us = t.elapsed().as_micros(),
+        len = tau.test.len(),
+        detected = tau.detected.len(),
+        iterations = tau.iterations,
+    );
+
+    t = Instant::now();
+    atspeed_sim::stats::set_phase("phase3");
     let undet: Vec<_> = targets
         .iter()
         .filter(|f| !tau.detected.contains(f))
         .copied()
         .collect();
     let p3 = top_up(&nl, &u, &c.tests, &undet);
-    eprintln!("phase3: {:?} ({} added)", t.elapsed(), p3.added.len());
+    atspeed_trace::info!("bench.calibrate", "phase3 top-up done";
+        wall_us = t.elapsed().as_micros(),
+        added = p3.added.len(),
+    );
+
+    let report = atspeed_sim::stats::report();
+    println!("{report}");
+    if let Err(e) = telemetry.write_outputs(&report) {
+        atspeed_trace::error!("bench.calibrate", "failed to write telemetry output";
+            error = e);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -5,10 +5,17 @@
 //! ```text
 //! tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel]
 //!        [--csv FILE] [--sim-json FILE]
+//!        [--trace FILE] [--metrics-json FILE] [--log LEVEL]
 //! ```
 //!
 //! Without `--table`, all five tables print. `--circuits` filters by name
 //! (comma-separated); `--quick` uses reduced effort for smoke runs.
+//!
+//! Telemetry: `--trace FILE` records hierarchical spans for the whole run
+//! and writes Chrome trace-event JSON (open at <https://ui.perfetto.dev>);
+//! `--metrics-json FILE` dumps every counter/gauge/histogram plus derived
+//! headline figures; `--log LEVEL` filters the structured JSONL run log
+//! (default `info`).
 //!
 //! A per-phase simulation-instrumentation report (gate evaluations,
 //! fault-sim invocations, faults dropped, partition wall times) prints
@@ -24,6 +31,7 @@ use std::time::Instant;
 
 use atspeed_bench::runner::{run_circuit, run_circuits, Effort};
 use atspeed_bench::tables::render_table;
+use atspeed_bench::telemetry::TelemetryArgs;
 use atspeed_circuit::catalog;
 
 struct Args {
@@ -33,6 +41,7 @@ struct Args {
     parallel: bool,
     csv: Option<String>,
     sim_json: Option<String>,
+    telemetry: TelemetryArgs,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,9 +52,13 @@ fn parse_args() -> Result<Args, String> {
         parallel: true,
         csv: None,
         sim_json: None,
+        telemetry: TelemetryArgs::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
+        if args.telemetry.consume(a.as_str(), &mut it)? {
+            continue;
+        }
         match a.as_str() {
             "--table" => {
                 let v = it.next().ok_or("--table needs a number")?;
@@ -70,7 +83,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel] \
-                     [--csv FILE] [--sim-json FILE]"
+                     [--csv FILE] [--sim-json FILE] [--trace FILE] [--metrics-json FILE] \
+                     [--log LEVEL]"
                         .to_owned(),
                 )
             }
@@ -114,20 +128,23 @@ fn main() -> ExitCode {
         Effort::Full
     };
 
+    args.telemetry.init();
     atspeed_sim::stats::reset();
     let start = Instant::now();
-    eprintln!(
-        "running {} circuits ({} effort, {})...",
-        infos.len(),
-        if args.quick { "quick" } else { "full" },
-        if args.parallel { "parallel" } else { "serial" },
+    atspeed_trace::info!("bench.tables", "starting experiments";
+        circuits = infos.len(),
+        effort = if args.quick { "quick" } else { "full" },
+        mode = if args.parallel { "parallel" } else { "serial" },
+        sim_threads = sim_threads(),
     );
     let exps = if args.parallel {
         run_circuits(&infos, effort)
     } else {
         infos.iter().map(|i| run_circuit(i, effort)).collect()
     };
-    eprintln!("experiments done in {:.1?}", start.elapsed());
+    atspeed_trace::info!("bench.tables", "experiments done";
+        wall_ms = start.elapsed().as_millis(),
+    );
 
     match args.table {
         Some(n) => println!("{}", render_table(n, &exps)),
@@ -145,18 +162,25 @@ fn main() -> ExitCode {
     println!("{report}");
     if let Some(path) = args.sim_json {
         if let Err(e) = std::fs::write(&path, report.to_json()) {
-            eprintln!("failed to write {path}: {e}");
+            atspeed_trace::error!("bench.tables", "failed to write sim json";
+                path = path, error = e);
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {path}");
+        atspeed_trace::info!("bench.tables", "wrote sim json"; path = path);
     }
     if let Some(path) = args.csv {
         let csv = atspeed_bench::csv::to_csv(&exps);
         if let Err(e) = std::fs::write(&path, csv) {
-            eprintln!("failed to write {path}: {e}");
+            atspeed_trace::error!("bench.tables", "failed to write csv";
+                path = path, error = e);
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {path}");
+        atspeed_trace::info!("bench.tables", "wrote csv"; path = path);
+    }
+    if let Err(e) = args.telemetry.write_outputs(&report) {
+        atspeed_trace::error!("bench.tables", "failed to write telemetry output";
+            error = e);
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -19,3 +19,4 @@ pub mod csv;
 pub mod paper;
 pub mod runner;
 pub mod tables;
+pub mod telemetry;

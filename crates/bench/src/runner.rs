@@ -67,6 +67,7 @@ fn t0_source_for(info: &BenchmarkInfo, effort: Effort) -> T0Source {
 
 /// Runs every experiment for one circuit.
 pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
+    let _sp = atspeed_trace::span_args("circuit", &[("name", &info.name)]);
     let started = std::time::Instant::now();
     let nl: Netlist = info.instantiate();
     let universe = FaultUniverse::full(&nl);
@@ -113,7 +114,10 @@ pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
         },
     );
 
-    eprintln!("  {} done in {:.1?}", info.name, started.elapsed());
+    atspeed_trace::info!("bench.runner", "circuit done";
+        circuit = info.name,
+        wall_ms = started.elapsed().as_millis(),
+    );
     CircuitExperiment {
         info: *info,
         proposed,

@@ -1,0 +1,158 @@
+//! Shared telemetry plumbing for the bench binaries: the `--trace FILE`,
+//! `--metrics-json FILE`, and `--log LEVEL` flags.
+//!
+//! - `--trace FILE` enables span recording for the whole run and writes a
+//!   Chrome trace-event JSON on exit — open it at <https://ui.perfetto.dev>
+//!   or `chrome://tracing`;
+//! - `--metrics-json FILE` writes every counter, gauge, and histogram from
+//!   the global registry, plus a small `derived` section with headline
+//!   figures computed from the simulation report;
+//! - `--log LEVEL` sets the structured-log filter (`error`, `warn`,
+//!   `info`, `debug`; default `info`).
+
+use std::io;
+
+use atspeed_sim::stats::SimReport;
+use atspeed_trace::Level;
+
+/// Telemetry-related command-line options shared by `tables` and
+/// `calibrate`.
+#[derive(Debug, Default)]
+pub struct TelemetryArgs {
+    /// Chrome-trace output path (`--trace`). `None` leaves tracing off.
+    pub trace: Option<String>,
+    /// Metrics JSON output path (`--metrics-json`).
+    pub metrics_json: Option<String>,
+    /// Log-level filter (`--log`).
+    pub log: Option<Level>,
+}
+
+impl TelemetryArgs {
+    /// Consumes one flag if it is telemetry-related. Returns `Ok(true)`
+    /// when `flag` was handled (its value pulled from `it`), `Ok(false)`
+    /// when the caller should handle it.
+    pub fn consume(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--trace" => {
+                self.trace = Some(it.next().ok_or("--trace needs a path")?);
+                Ok(true)
+            }
+            "--metrics-json" => {
+                self.metrics_json = Some(it.next().ok_or("--metrics-json needs a path")?);
+                Ok(true)
+            }
+            "--log" => {
+                let v = it.next().ok_or("--log needs a level")?;
+                self.log = Some(
+                    Level::parse(&v)
+                        .ok_or(format!("bad log level `{v}` (error|warn|info|debug)"))?,
+                );
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Applies the flags that take effect at startup: the log filter and
+    /// (when `--trace` was given) span recording.
+    pub fn init(&self) {
+        if let Some(level) = self.log {
+            atspeed_trace::log::set_max_level(level);
+        }
+        if self.trace.is_some() {
+            atspeed_trace::set_tracing(true);
+        }
+    }
+
+    /// Writes the trace and metrics files requested on the command line.
+    /// Call once, after the run's [`SimReport`] is taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first filesystem error.
+    pub fn write_outputs(&self, report: &SimReport) -> io::Result<()> {
+        if let Some(path) = &self.trace {
+            atspeed_trace::write_chrome_trace(path)?;
+            atspeed_trace::info!("bench.telemetry", "wrote chrome trace"; path = path);
+        }
+        if let Some(path) = &self.metrics_json {
+            std::fs::write(path, metrics_json_with_derived(report))?;
+            atspeed_trace::info!("bench.telemetry", "wrote metrics json"; path = path);
+        }
+        Ok(())
+    }
+}
+
+/// The global metrics registry as JSON, extended with a `derived` object
+/// holding the headline figures benchmark CI compares across runs.
+pub fn metrics_json_with_derived(report: &SimReport) -> String {
+    let base = atspeed_trace::metrics::global().snapshot().to_json();
+    let t = report.totals();
+    let derived = format!(
+        "\"derived\":{{\"gate_evals_total\":{},\"wall_us_total\":{},\
+         \"gate_evals_per_sec\":{:.1},\"partition_imbalance\":{:.3}}}",
+        t.gate_evals,
+        t.wall.as_micros(),
+        if t.wall.as_secs_f64() > 0.0 {
+            t.gate_evals as f64 / t.wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        t.partition_imbalance(),
+    );
+    // Splice the derived object into the snapshot's top-level JSON object.
+    let trimmed = base.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("snapshot JSON is an object");
+    if body.trim_end().ends_with('{') {
+        format!("{body}{derived}}}")
+    } else {
+        format!("{body},{derived}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn consume_handles_only_telemetry_flags() {
+        let mut t = TelemetryArgs::default();
+        let mut it = vec!["out.json".to_string()].into_iter();
+        assert!(t.consume("--trace", &mut it).unwrap());
+        assert_eq!(t.trace.as_deref(), Some("out.json"));
+        let mut empty = std::iter::empty();
+        assert!(!t.consume("--csv", &mut empty).unwrap());
+        assert!(t.consume("--log", &mut empty).is_err());
+        let mut lvl = vec!["debug".to_string()].into_iter();
+        assert!(t.consume("--log", &mut lvl).unwrap());
+        assert_eq!(t.log, Some(Level::Debug));
+    }
+
+    #[test]
+    fn derived_section_is_spliced_into_valid_json() {
+        let mut report = SimReport::default();
+        report.phases.push((
+            "p".into(),
+            atspeed_sim::stats::PhaseStats {
+                gate_evals: 1000,
+                wall: Duration::from_millis(10),
+                ..Default::default()
+            },
+        ));
+        let json = metrics_json_with_derived(&report);
+        assert!(json.contains("\"derived\""));
+        assert!(json.contains("\"gate_evals_total\":1000"));
+        assert!(json.contains("\"gate_evals_per_sec\":100000.0"));
+        // Balanced braces — cheap structural sanity check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+}

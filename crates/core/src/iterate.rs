@@ -96,9 +96,9 @@ pub fn build_tau_seq(
         .unwrap_or(candidates.len())
         .min(candidates.len());
 
-    let trace = std::env::var_os("ATSPEED_TRACE").is_some();
     while iterations < max_iter {
         iterations += 1;
+        let _sp = atspeed_trace::span("iterate.iteration");
         let t_iter = std::time::Instant::now();
         // Step 1: faults of `targets` detected by the current sequence
         // without scan (unknown initial state, primary outputs only).
@@ -133,18 +133,17 @@ pub fn build_tau_seq(
         // Phase 2: vector omission preserving F_SO = F_SI.
         let t_p2 = std::time::Instant::now();
         let (compacted, om_stats) = compact_test(nl, universe, &p1.test, &p1.f_so, cfg.omission);
-        if trace {
-            eprintln!(
-                "[atspeed] iter {iterations}: step1 {t_step1:.2?}, phase1 {t_phase1:.2?} \
-                 (u_so {}), phase2 {:.2?} ({} attempts, {} removed, len {} -> {})",
-                p1.u_so,
-                t_p2.elapsed(),
-                om_stats.attempts,
-                om_stats.removed,
-                p1.test.len(),
-                compacted.len()
-            );
-        }
+        atspeed_trace::debug!("core.iterate", "iteration done";
+            iter = iterations,
+            step1_us = t_step1.as_micros(),
+            phase1_us = t_phase1.as_micros(),
+            u_so = p1.u_so,
+            phase2_us = t_p2.elapsed().as_micros(),
+            omission_attempts = om_stats.attempts,
+            omission_removed = om_stats.removed,
+            len_before = p1.test.len(),
+            len_after = compacted.len(),
+        );
         let progressed = best
             .as_ref()
             .is_none_or(|prev| compacted.len() < prev.len());

@@ -245,21 +245,25 @@ fn score_candidates(
     }
     let counts: Mutex<Vec<usize>> = Mutex::new(vec![0; n]);
     let next = AtomicUsize::new(0);
+    // Workers join the spawning thread's stats scope; the enter guard
+    // flushes their batched partition tallies once, on exit.
+    let h = stats::handle();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
+                let _g = h.enter();
                 let mut fsim = SeqFaultSim::new(nl);
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     if j >= n {
                         break;
                     }
+                    let _sp = atspeed_trace::span("phase1.score.claim");
                     let started = std::time::Instant::now();
                     let c = score(&mut fsim, &candidates[j].state);
                     stats::record_partition(started.elapsed());
                     counts.lock().unwrap_or_else(|e| e.into_inner())[j] = c;
                 }
-                stats::flush();
             });
         }
     });

@@ -138,6 +138,7 @@ impl<'a> Pipeline<'a> {
 
         // Combinational test set C.
         stats::set_phase("comb-gen");
+        let sp = atspeed_trace::span("pipeline.comb-gen");
         let (comb_tests, untestable) = match self.provided_c {
             Some(c) => (c, Vec::new()),
             None => {
@@ -153,7 +154,9 @@ impl<'a> Pipeline<'a> {
         }
 
         // T_0.
+        drop(sp);
         stats::set_phase("t0-gen");
+        let sp = atspeed_trace::span("pipeline.t0-gen");
         let t0 = match self.provided_t0 {
             Some(t0) => t0,
             None => match self.t0_source {
@@ -187,14 +190,18 @@ impl<'a> Pipeline<'a> {
         let t0_len = t0.len();
 
         // Phases 1–2, iterated.
+        drop(sp);
         stats::set_phase("phase1-2");
+        let sp = atspeed_trace::span("pipeline.phase1-2");
         let mut iterate_cfg = self.iterate_cfg;
         iterate_cfg.phase1.sim = self.sim;
         let tau = build_tau_seq(nl, &universe, &t0, &comb_tests, &targets, iterate_cfg)
             .ok_or(CoreError::NoScanInCandidates)?;
 
         // Phase 3: top up to complete coverage.
+        drop(sp);
         stats::set_phase("phase3");
+        let sp = atspeed_trace::span("pipeline.phase3");
         let undetected: Vec<FaultId> = targets
             .iter()
             .filter(|f| !tau.detected.contains(f))
@@ -209,7 +216,9 @@ impl<'a> Pipeline<'a> {
         let final_detected_faults: usize = targets.len() - p3.still_undetected.len();
 
         // Phase 4: static compaction of the proposed set.
+        drop(sp);
         stats::set_phase("phase4");
+        let sp = atspeed_trace::span("pipeline.phase4");
         let detected_by_set: Vec<FaultId> = targets
             .iter()
             .filter(|f| !p3.still_undetected.contains(f))
@@ -227,6 +236,7 @@ impl<'a> Pipeline<'a> {
         } else {
             (initial_set.clone(), Default::default())
         };
+        drop(sp);
         stats::set_phase("post-pipeline");
 
         let n_sv = nl.num_ffs();

@@ -231,21 +231,26 @@ impl<'a> ParallelFsim<'a> {
     {
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<R>> = Mutex::new(vec![R::default(); parts.len()]);
+        // Workers inherit the spawning thread's stats destination (the
+        // handle stack is thread-local); the enter guard also flushes each
+        // worker's batched counts once, on exit.
+        let h = stats::handle();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
+                    let _g = h.enter();
                     let mut engine = mk();
                     loop {
                         let p = next.fetch_add(1, Ordering::Relaxed);
                         if p >= parts.len() {
                             break;
                         }
+                        let _sp = atspeed_trace::span("fsim.partition");
                         let started = Instant::now();
                         let r = work(&mut engine, &parts[p]);
                         stats::record_partition(started.elapsed());
                         results.lock().unwrap_or_else(|e| e.into_inner())[p] = r;
                     }
-                    stats::flush();
                 });
             }
         });
@@ -315,9 +320,11 @@ impl<'a> ParallelFsim<'a> {
         };
         let shared = SharedDetectMap::new(faults.len());
         let next = AtomicUsize::new(0);
+        let h = stats::handle();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
+                    let _g = h.enter();
                     let mut sim = CombFaultSim::new(self.nl);
                     let mut alive_idx: Vec<usize> = Vec::with_capacity(faults.len());
                     let mut alive_ids: Vec<FaultId> = Vec::with_capacity(faults.len());
@@ -326,6 +333,7 @@ impl<'a> ParallelFsim<'a> {
                         if start >= blocks.len() {
                             break;
                         }
+                        let _sp = atspeed_trace::span("fsim.detect_all.claim");
                         let started = Instant::now();
                         stats::add_invocation();
                         for block in &blocks[start..blocks.len().min(start + chunk)] {
@@ -349,7 +357,6 @@ impl<'a> ParallelFsim<'a> {
                         }
                         stats::record_partition(started.elapsed());
                     }
-                    stats::flush();
                 });
             }
         });
@@ -522,9 +529,11 @@ impl<'a> ParallelFsim<'a> {
         };
         let shared = SharedDetectMap::new(faults.len());
         let next = AtomicUsize::new(0);
+        let h = stats::handle();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
+                    let _g = h.enter();
                     let mut sim = SeqFaultSim::new(self.nl);
                     let mut alive_idx: Vec<usize> = Vec::with_capacity(faults.len());
                     let mut alive_ids: Vec<FaultId> = Vec::with_capacity(faults.len());
@@ -533,6 +542,7 @@ impl<'a> ParallelFsim<'a> {
                         if start >= runs.len() {
                             break;
                         }
+                        let _sp = atspeed_trace::span("fsim.detect_union.claim");
                         let started = Instant::now();
                         for (init, seq) in &runs[start..runs.len().min(start + chunk)] {
                             alive_idx.clear();
@@ -556,7 +566,6 @@ impl<'a> ParallelFsim<'a> {
                         }
                         stats::record_partition(started.elapsed());
                     }
-                    stats::flush();
                 });
             }
         });

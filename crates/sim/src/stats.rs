@@ -6,12 +6,22 @@
 //! fault-simulation invocations, and faults dropped — plus wall time per
 //! parallel partition. Counts accumulate in thread-local cells (one
 //! unsynchronized add per engine call, so the hot loops stay hot) and are
-//! merged into a process-wide registry keyed by the current *phase* label.
+//! merged into an [`atspeed_trace::MetricsRegistry`] under metric names of
+//! the form `phase/<label>/<field>`, keyed by the current *phase* label.
 //!
 //! The orchestration layer names the phases: call [`set_phase`] around each
 //! pipeline stage, then take a [`SimReport`] snapshot with [`report`] when
 //! done. Worker threads must call [`flush`] before they exit so their
-//! counts are not lost.
+//! counts are not lost; a worker spawned inside a [`scoped`] region must
+//! additionally [`StatsHandle::enter`] the parent's handle, because the
+//! scope stack is thread-local.
+//!
+//! By default counts land in the process-global registry
+//! ([`atspeed_trace::metrics::global`]), so `--metrics-json` exports phase
+//! counters next to the other workspace metrics. Tests (and any caller
+//! wanting isolation) create a private registry with [`scoped`]: while the
+//! returned guard lives, this thread's stats calls target that registry
+//! only, and concurrent tests cannot observe each other's counts.
 //!
 //! Counter semantics:
 //!
@@ -24,57 +34,70 @@
 //! - **faults dropped** — faults removed from further simulation by
 //!   detection, including cross-partition drops through the shared bitmap.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use atspeed_trace::metrics::{bucket_index, MetricsRegistry, NUM_BUCKETS};
+
+// ---------------------------------------------------------------------------
+// Thread-local pending counts (one unsynchronized add per engine call).
+// ---------------------------------------------------------------------------
 
 thread_local! {
     static GATE_EVALS: Cell<u64> = const { Cell::new(0) };
     static INVOCATIONS: Cell<u64> = const { Cell::new(0) };
     static DROPPED: Cell<u64> = const { Cell::new(0) };
     static EVENTS_SKIPPED: Cell<u64> = const { Cell::new(0) };
+    // Partition wall times are batched here too, so a worker takes the
+    // registry lock once per claimed partition set (at flush) instead of
+    // once per partition.
+    static PART_COUNT: Cell<u64> = const { Cell::new(0) };
+    static PART_TOTAL_NS: Cell<u64> = const { Cell::new(0) };
+    static PART_MAX_NS: Cell<u64> = const { Cell::new(0) };
+    static PART_SUM_US: Cell<u64> = const { Cell::new(0) };
+    static PART_HIST: RefCell<[u64; NUM_BUCKETS]> = const { RefCell::new([0; NUM_BUCKETS]) };
 }
 
-/// Counters merged for one phase.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct PhaseStats {
-    /// Single-gate 64-slot-wide evaluations.
-    pub gate_evals: u64,
-    /// Engine-level fault-simulation invocations.
-    pub fsim_invocations: u64,
-    /// Faults dropped after detection.
-    pub faults_dropped: u64,
-    /// Gate evaluations an event-driven pass avoided (gates outside the
-    /// propagated cone that a full levelized pass would have computed).
-    pub events_skipped: u64,
-    /// Wall time attributed to the phase.
-    pub wall: Duration,
-    /// Parallel partitions run during the phase.
-    pub partitions: u64,
-    /// Summed wall time across those partitions.
-    pub partition_wall_total: Duration,
-    /// Wall time of the slowest partition (the parallel critical path).
-    pub partition_wall_max: Duration,
+/// Everything a thread has recorded since its last flush.
+#[derive(Clone)]
+struct Pending {
+    gate_evals: u64,
+    invocations: u64,
+    dropped: u64,
+    events_skipped: u64,
+    partitions: u64,
+    part_total_ns: u64,
+    part_max_ns: u64,
+    part_sum_us: u64,
+    part_hist: [u64; NUM_BUCKETS],
 }
 
-struct Registry {
-    phases: BTreeMap<String, PhaseStats>,
-    current: String,
-    phase_started: Option<Instant>,
-}
+impl Pending {
+    fn take() -> Pending {
+        Pending {
+            gate_evals: GATE_EVALS.with(|c| c.replace(0)),
+            invocations: INVOCATIONS.with(|c| c.replace(0)),
+            dropped: DROPPED.with(|c| c.replace(0)),
+            events_skipped: EVENTS_SKIPPED.with(|c| c.replace(0)),
+            partitions: PART_COUNT.with(|c| c.replace(0)),
+            part_total_ns: PART_TOTAL_NS.with(|c| c.replace(0)),
+            part_max_ns: PART_MAX_NS.with(|c| c.replace(0)),
+            part_sum_us: PART_SUM_US.with(|c| c.replace(0)),
+            part_hist: PART_HIST
+                .with(|h| std::mem::replace(&mut *h.borrow_mut(), [0; NUM_BUCKETS])),
+        }
+    }
 
-static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
-
-fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
-    let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    let reg = guard.get_or_insert_with(|| Registry {
-        phases: BTreeMap::new(),
-        current: "unattributed".to_string(),
-        phase_started: None,
-    });
-    f(reg)
+    fn is_empty(&self) -> bool {
+        self.gate_evals == 0
+            && self.invocations == 0
+            && self.dropped == 0
+            && self.events_skipped == 0
+            && self.partitions == 0
+    }
 }
 
 /// Adds `n` gate evaluations to this thread's pending counts.
@@ -102,35 +125,333 @@ pub fn add_events_skipped(n: u64) {
     EVENTS_SKIPPED.with(|c| c.set(c.get().wrapping_add(n)));
 }
 
-/// Merges this thread's pending counts into the current phase.
+/// Records one parallel partition's wall time in this thread's pending
+/// tally. Nothing is locked here; the batch is merged into the registry on
+/// the next [`flush`].
+pub fn record_partition(wall: Duration) {
+    let ns = wall.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let us = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+    PART_COUNT.with(|c| c.set(c.get() + 1));
+    PART_TOTAL_NS.with(|c| c.set(c.get().wrapping_add(ns)));
+    PART_MAX_NS.with(|c| c.set(c.get().max(ns)));
+    PART_SUM_US.with(|c| c.set(c.get().wrapping_add(us)));
+    PART_HIST.with(|h| h.borrow_mut()[bucket_index(us)] += 1);
+}
+
+/// Merges this thread's pending counts into the current phase of the
+/// current [`StatsHandle`].
 ///
 /// Worker threads must call this before exiting; the orchestrating thread
 /// is flushed automatically by [`set_phase`] and [`report`].
 pub fn flush() {
-    let ge = GATE_EVALS.with(|c| c.replace(0));
-    let inv = INVOCATIONS.with(|c| c.replace(0));
-    let dr = DROPPED.with(|c| c.replace(0));
-    let sk = EVENTS_SKIPPED.with(|c| c.replace(0));
-    if ge == 0 && inv == 0 && dr == 0 && sk == 0 {
+    let pending = Pending::take();
+    if pending.is_empty() {
         return;
     }
-    with_registry(|reg| {
-        let entry = reg.phases.entry(reg.current.clone()).or_default();
-        entry.gate_evals += ge;
-        entry.fsim_invocations += inv;
-        entry.faults_dropped += dr;
-        entry.events_skipped += sk;
-    });
+    handle().merge(&pending);
 }
 
-/// Records one parallel partition's wall time under the current phase.
-pub fn record_partition(wall: Duration) {
-    with_registry(|reg| {
-        let entry = reg.phases.entry(reg.current.clone()).or_default();
-        entry.partitions += 1;
-        entry.partition_wall_total += wall;
-        entry.partition_wall_max = entry.partition_wall_max.max(wall);
-    });
+// ---------------------------------------------------------------------------
+// Handles: which registry the calling thread's stats go to.
+// ---------------------------------------------------------------------------
+
+/// Phase attribution state shared by everyone using one handle.
+#[derive(Debug)]
+struct PhaseState {
+    current: String,
+    phase_started: Option<Instant>,
+}
+
+#[derive(Debug)]
+enum MetricsRef {
+    /// The process-global registry ([`atspeed_trace::metrics::global`]).
+    Global,
+    /// A private registry owned by this handle (see [`scoped`]).
+    Owned(MetricsRegistry),
+}
+
+#[derive(Debug)]
+struct HandleInner {
+    metrics: MetricsRef,
+    state: Mutex<PhaseState>,
+}
+
+/// A destination for simulation stats: a metrics registry plus the current
+/// phase label. Cloning is cheap (`Arc`); clones share state.
+///
+/// Most code never touches handles — the free functions route through the
+/// calling thread's current handle. Handles exist so that (a) tests can
+/// isolate themselves with [`scoped`], and (b) worker threads spawned
+/// inside a scope can join it with [`StatsHandle::enter`].
+#[derive(Debug, Clone)]
+pub struct StatsHandle(Arc<HandleInner>);
+
+impl StatsHandle {
+    fn new_scoped() -> StatsHandle {
+        StatsHandle(Arc::new(HandleInner {
+            metrics: MetricsRef::Owned(MetricsRegistry::new()),
+            state: Mutex::new(PhaseState {
+                current: "unattributed".to_string(),
+                phase_started: None,
+            }),
+        }))
+    }
+
+    /// The metrics registry this handle writes to. Phase counters appear
+    /// under `phase/<label>/<field>` names; other subsystems may record
+    /// arbitrary metrics alongside them.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        match &self.0.metrics {
+            MetricsRef::Global => atspeed_trace::metrics::global(),
+            MetricsRef::Owned(reg) => reg,
+        }
+    }
+
+    /// Makes this handle the target of the calling thread's stats until the
+    /// returned guard drops. Use from worker threads to join the scope of
+    /// the thread that spawned them:
+    ///
+    /// ```
+    /// use atspeed_sim::stats;
+    /// let scope = stats::scoped();
+    /// let h = stats::handle();
+    /// std::thread::scope(|s| {
+    ///     s.spawn(|| {
+    ///         let _g = h.enter();
+    ///         stats::add_gate_evals(17);
+    ///         // guard drop flushes into the scoped registry
+    ///     });
+    /// });
+    /// assert_eq!(scope.report().totals().gate_evals, 17);
+    /// ```
+    ///
+    /// Flushes the thread's pending counts to its *previous* handle first,
+    /// so nothing recorded before the switch is misattributed.
+    #[must_use = "stats target reverts when the guard drops"]
+    pub fn enter(&self) -> StatsEnterGuard {
+        flush();
+        HANDLE_STACK.with(|s| s.borrow_mut().push(self.clone()));
+        StatsEnterGuard {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    fn merge(&self, p: &Pending) {
+        let label = {
+            let st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.current.clone()
+        };
+        let m = self.metrics();
+        let name = |field: &str| format!("phase/{label}/{field}");
+        if p.gate_evals > 0 {
+            m.counter(&name("gate_evals")).add(p.gate_evals);
+        }
+        if p.invocations > 0 {
+            m.counter(&name("fsim_invocations")).add(p.invocations);
+        }
+        if p.dropped > 0 {
+            m.counter(&name("faults_dropped")).add(p.dropped);
+        }
+        if p.events_skipped > 0 {
+            m.counter(&name("events_skipped")).add(p.events_skipped);
+        }
+        if p.partitions > 0 {
+            m.counter(&name("partitions")).add(p.partitions);
+            m.counter(&name("partition_wall_total_ns"))
+                .add(p.part_total_ns);
+            m.gauge(&name("partition_wall_max_ns"))
+                .record_max(i64::try_from(p.part_max_ns).unwrap_or(i64::MAX));
+            m.histogram(&name("partition_wall_us")).merge_tally(
+                &p.part_hist,
+                p.partitions,
+                p.part_sum_us,
+            );
+        }
+    }
+
+    /// Ends the current phase and starts attributing counts to `name`.
+    /// Charges the old phase its elapsed wall time. Does *not* flush any
+    /// thread's pending counts — use the free [`set_phase`] for that.
+    pub fn set_phase(&self, name: &str) {
+        let now = Instant::now();
+        let (old, elapsed) = {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            let charge = st
+                .phase_started
+                .take()
+                .map(|started| (st.current.clone(), now - started));
+            st.current = name.to_string();
+            st.phase_started = Some(now);
+            match charge {
+                Some((old, d)) => (old, d),
+                None => return,
+            }
+        };
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.metrics()
+            .counter(&format!("phase/{old}/wall_ns"))
+            .add(ns);
+    }
+
+    /// Clears phase attribution and zeroes every metric in the registry
+    /// (names and outstanding metric handles stay valid).
+    pub fn reset(&self) {
+        {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.current = "unattributed".to_string();
+            st.phase_started = None;
+        }
+        self.metrics().zero();
+    }
+
+    /// Snapshots per-phase counters from the registry. Closes out the
+    /// running phase timer (the phase keeps accumulating if more work
+    /// follows). Does *not* flush thread-local pending counts — use the
+    /// free [`report`] for that.
+    pub fn report(&self) -> SimReport {
+        {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(started) = st.phase_started {
+                let now = Instant::now();
+                let ns = (now - started).as_nanos().min(u128::from(u64::MAX)) as u64;
+                let current = st.current.clone();
+                st.phase_started = Some(now);
+                drop(st);
+                if ns > 0 {
+                    self.metrics()
+                        .counter(&format!("phase/{current}/wall_ns"))
+                        .add(ns);
+                }
+            }
+        }
+        let snap = self.metrics().snapshot();
+        let mut phases: BTreeMap<String, PhaseStats> = BTreeMap::new();
+        for (name, value) in &snap.counters {
+            let Some(rest) = name.strip_prefix("phase/") else {
+                continue;
+            };
+            // Phase labels are identifier-like (no '/'), so the last
+            // segment is the field name.
+            let Some((label, field)) = rest.rsplit_once('/') else {
+                continue;
+            };
+            let entry = phases.entry(label.to_string()).or_default();
+            match field {
+                "gate_evals" => entry.gate_evals = *value,
+                "fsim_invocations" => entry.fsim_invocations = *value,
+                "faults_dropped" => entry.faults_dropped = *value,
+                "events_skipped" => entry.events_skipped = *value,
+                "wall_ns" => entry.wall = Duration::from_nanos(*value),
+                "partitions" => entry.partitions = *value,
+                "partition_wall_total_ns" => {
+                    entry.partition_wall_total = Duration::from_nanos(*value)
+                }
+                _ => {}
+            }
+        }
+        for (name, value) in &snap.gauges {
+            let Some(rest) = name.strip_prefix("phase/") else {
+                continue;
+            };
+            let Some((label, field)) = rest.rsplit_once('/') else {
+                continue;
+            };
+            if field == "partition_wall_max_ns" {
+                let entry = phases.entry(label.to_string()).or_default();
+                entry.partition_wall_max = Duration::from_nanos(u64::try_from(*value).unwrap_or(0));
+            }
+        }
+        SimReport {
+            phases: phases
+                .into_iter()
+                .filter(|(_, s)| *s != PhaseStats::default())
+                .collect(),
+        }
+    }
+}
+
+thread_local! {
+    /// Innermost scoped handle wins; empty means the global handle.
+    static HANDLE_STACK: RefCell<Vec<StatsHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+fn global_handle() -> &'static StatsHandle {
+    static GLOBAL: OnceLock<StatsHandle> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        StatsHandle(Arc::new(HandleInner {
+            metrics: MetricsRef::Global,
+            state: Mutex::new(PhaseState {
+                current: "unattributed".to_string(),
+                phase_started: None,
+            }),
+        }))
+    })
+}
+
+/// The calling thread's current stats destination: the innermost
+/// [`scoped`]/[`StatsHandle::enter`] handle, or the process-global one.
+pub fn handle() -> StatsHandle {
+    HANDLE_STACK
+        .with(|s| s.borrow().last().cloned())
+        .unwrap_or_else(|| global_handle().clone())
+}
+
+/// Reverts the calling thread's stats destination on drop; returned by
+/// [`StatsHandle::enter`] and carried inside [`StatsScope`].
+///
+/// Guards must drop in LIFO order (natural with `let _g = h.enter();`
+/// block scoping). The pending counts accumulated while entered are
+/// flushed to the entered handle on drop.
+pub struct StatsEnterGuard {
+    // Thread-local stack manipulation must unwind on the same thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for StatsEnterGuard {
+    fn drop(&mut self) {
+        flush();
+        HANDLE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// An isolated stats region: a fresh private registry that this thread's
+/// stats calls target until the guard drops. See [`scoped`].
+pub struct StatsScope {
+    handle: StatsHandle,
+    _guard: StatsEnterGuard,
+}
+
+impl StatsScope {
+    /// The handle backing this scope — clone it into worker threads and
+    /// [`StatsHandle::enter`] there.
+    pub fn handle(&self) -> StatsHandle {
+        self.handle.clone()
+    }
+
+    /// Snapshot of this scope's counters; flushes the calling thread first.
+    pub fn report(&self) -> SimReport {
+        flush();
+        self.handle.report()
+    }
+}
+
+/// Opens an isolated stats region backed by a fresh private registry.
+///
+/// While the returned guard lives, the calling thread's [`add_gate_evals`],
+/// [`set_phase`], [`report`], … target the private registry, so concurrent
+/// tests cannot interfere with each other or with the process-global
+/// metrics. Pending counts recorded *before* the call are flushed to the
+/// previous destination first.
+#[must_use = "the scope ends when the guard drops"]
+pub fn scoped() -> StatsScope {
+    let handle = StatsHandle::new_scoped();
+    let guard = handle.enter();
+    StatsScope {
+        handle,
+        _guard: guard,
+    }
 }
 
 /// Ends the current phase and starts attributing counts to `name`.
@@ -139,28 +460,17 @@ pub fn record_partition(wall: Duration) {
 /// and charges the old phase its elapsed wall time.
 pub fn set_phase(name: &str) {
     flush();
-    with_registry(|reg| {
-        let now = Instant::now();
-        if let Some(started) = reg.phase_started.take() {
-            let entry = reg.phases.entry(reg.current.clone()).or_default();
-            entry.wall += now - started;
-        }
-        reg.current = name.to_string();
-        reg.phase_started = Some(now);
-    });
+    handle().set_phase(name);
 }
 
 /// Clears all recorded stats and returns phase attribution to the default.
+///
+/// On the global handle this zeroes the process-global metrics registry —
+/// including metrics recorded by other subsystems — which is what a fresh
+/// benchmark run wants.
 pub fn reset() {
-    GATE_EVALS.with(|c| c.set(0));
-    INVOCATIONS.with(|c| c.set(0));
-    DROPPED.with(|c| c.set(0));
-    EVENTS_SKIPPED.with(|c| c.set(0));
-    with_registry(|reg| {
-        reg.phases.clear();
-        reg.current = "unattributed".to_string();
-        reg.phase_started = None;
-    });
+    let _ = Pending::take();
+    handle().reset();
 }
 
 /// Takes a snapshot of everything recorded since the last [`reset`].
@@ -169,29 +479,33 @@ pub fn reset() {
 /// phase keeps accumulating if more work follows).
 pub fn report() -> SimReport {
     flush();
-    with_registry(|reg| {
-        if let Some(started) = reg.phase_started {
-            let now = Instant::now();
-            let entry = reg.phases.entry(reg.current.clone()).or_default();
-            entry.wall += now - started;
-            reg.phase_started = Some(now);
-        }
-        SimReport {
-            phases: reg
-                .phases
-                .iter()
-                .filter(|(_, s)| **s != PhaseStats::default())
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
-        }
-    })
+    handle().report()
 }
 
-/// A snapshot of per-phase simulation counters.
+// ---------------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------------
+
+/// Counters merged for one phase.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct SimReport {
-    /// Stats per phase label, ordered by label.
-    pub phases: Vec<(String, PhaseStats)>,
+pub struct PhaseStats {
+    /// Single-gate 64-slot-wide evaluations.
+    pub gate_evals: u64,
+    /// Engine-level fault-simulation invocations.
+    pub fsim_invocations: u64,
+    /// Faults dropped after detection.
+    pub faults_dropped: u64,
+    /// Gate evaluations an event-driven pass avoided (gates outside the
+    /// propagated cone that a full levelized pass would have computed).
+    pub events_skipped: u64,
+    /// Wall time attributed to the phase.
+    pub wall: Duration,
+    /// Parallel partitions run during the phase.
+    pub partitions: u64,
+    /// Summed wall time across those partitions.
+    pub partition_wall_total: Duration,
+    /// Wall time of the slowest partition (the parallel critical path).
+    pub partition_wall_max: Duration,
 }
 
 impl PhaseStats {
@@ -206,6 +520,29 @@ impl PhaseStats {
             0.0
         }
     }
+
+    /// Load-imbalance ratio of the phase's parallel partitions: the
+    /// slowest partition's wall time over the mean partition wall time.
+    /// 1.0 means perfectly balanced; `P` (the partition count) means one
+    /// partition did all the work. 0.0 when the phase ran no partitions.
+    pub fn partition_imbalance(&self) -> f64 {
+        if self.partitions == 0 {
+            return 0.0;
+        }
+        let mean = self.partition_wall_total.as_secs_f64() / self.partitions as f64;
+        if mean > 0.0 {
+            self.partition_wall_max.as_secs_f64() / mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A snapshot of per-phase simulation counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Stats per phase label, ordered by label.
+    pub phases: Vec<(String, PhaseStats)>,
 }
 
 impl SimReport {
@@ -240,7 +577,8 @@ impl SimReport {
                 "  \"{}\": {{\"gate_evals\": {}, \"fsim_invocations\": {}, \
                  \"faults_dropped\": {}, \"events_skipped\": {}, \
                  \"gate_evals_per_sec\": {:.1}, \"wall_us\": {}, \"partitions\": {}, \
-                 \"partition_wall_total_us\": {}, \"partition_wall_max_us\": {}}}{}\n",
+                 \"partition_wall_total_us\": {}, \"partition_wall_max_us\": {}, \
+                 \"partition_imbalance\": {:.3}}}{}\n",
                 esc(name),
                 s.gate_evals,
                 s.fsim_invocations,
@@ -251,6 +589,7 @@ impl SimReport {
                 s.partitions,
                 s.partition_wall_total.as_micros(),
                 s.partition_wall_max.as_micros(),
+                s.partition_imbalance(),
                 if i + 1 == self.phases.len() { "" } else { "," }
             ));
         }
@@ -263,7 +602,7 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11} {:>10} {:>6} {:>10}",
+            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11} {:>10} {:>6} {:>10} {:>6}",
             "phase",
             "gate evals",
             "fsims",
@@ -272,12 +611,13 @@ impl fmt::Display for SimReport {
             "evals/s",
             "wall",
             "parts",
-            "part max"
+            "part max",
+            "imbal"
         )?;
         for (name, s) in &self.phases {
             writeln!(
                 f,
-                "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?}",
+                "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?} {:>6.2}",
                 name,
                 s.gate_evals,
                 s.fsim_invocations,
@@ -286,13 +626,14 @@ impl fmt::Display for SimReport {
                 s.gate_evals_per_sec(),
                 s.wall,
                 s.partitions,
-                s.partition_wall_max
+                s.partition_wall_max,
+                s.partition_imbalance()
             )?;
         }
         let t = self.totals();
         writeln!(
             f,
-            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?}",
+            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?} {:>6.2}",
             "total",
             t.gate_evals,
             t.fsim_invocations,
@@ -301,7 +642,8 @@ impl fmt::Display for SimReport {
             t.gate_evals_per_sec(),
             t.wall,
             t.partitions,
-            t.partition_wall_max
+            t.partition_wall_max,
+            t.partition_imbalance()
         )
     }
 }
@@ -310,11 +652,12 @@ impl fmt::Display for SimReport {
 mod tests {
     use super::*;
 
-    // The registry is process-global, so exercise everything in one test
-    // to avoid cross-test interference under the parallel test harness.
+    // Each test opens its own scoped() registry, so they are independent
+    // under the parallel test harness — no shared global state.
+
     #[test]
     fn counters_merge_into_phases() {
-        reset();
+        let scope = scoped();
         set_phase("alpha");
         add_gate_evals(10);
         add_invocation();
@@ -322,9 +665,7 @@ mod tests {
         set_phase("beta");
         add_gate_evals(5);
         add_events_skipped(7);
-        record_partition(Duration::from_millis(2));
-        record_partition(Duration::from_millis(4));
-        let r = report();
+        let r = scope.report();
         let alpha = &r.phases.iter().find(|(n, _)| n == "alpha").unwrap().1;
         assert_eq!(alpha.gate_evals, 10);
         assert_eq!(alpha.fsim_invocations, 1);
@@ -333,19 +674,127 @@ mod tests {
         assert_eq!(beta.gate_evals, 5);
         assert_eq!(beta.events_skipped, 7);
         assert!(beta.gate_evals_per_sec() > 0.0, "beta has wall time");
-        assert_eq!(beta.partitions, 2);
-        assert_eq!(beta.partition_wall_max, Duration::from_millis(4));
-        assert_eq!(beta.partition_wall_total, Duration::from_millis(6),);
         let t = r.totals();
         assert_eq!(t.gate_evals, 15);
         assert_eq!(t.events_skipped, 7);
+    }
+
+    #[test]
+    fn partitions_batch_and_merge_exactly() {
+        let scope = scoped();
+        set_phase("par");
+        record_partition(Duration::from_millis(2));
+        record_partition(Duration::from_millis(4));
+        // Partition tallies stay thread-local until flush (report flushes);
+        // only the phase wall timer has reached the registry so far.
+        let pre = handle().report();
+        assert!(pre
+            .phases
+            .iter()
+            .all(|(_, s)| s.partitions == 0 && s.partition_wall_total == Duration::ZERO));
+        let r = scope.report();
+        let par = &r.phases.iter().find(|(n, _)| n == "par").unwrap().1;
+        assert_eq!(par.partitions, 2);
+        assert_eq!(par.partition_wall_total, Duration::from_millis(6));
+        assert_eq!(par.partition_wall_max, Duration::from_millis(4));
+        // The batched histogram saw both samples.
+        let hist = scope
+            .handle()
+            .metrics()
+            .histogram("phase/par/partition_wall_us");
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 2000 + 4000);
+    }
+
+    #[test]
+    fn imbalance_ratio_reported_in_json_and_display() {
+        let mut s = PhaseStats {
+            partitions: 4,
+            partition_wall_total: Duration::from_millis(40),
+            partition_wall_max: Duration::from_millis(20),
+            ..PhaseStats::default()
+        };
+        assert!((s.partition_imbalance() - 2.0).abs() < 1e-9);
+        s.partitions = 0;
+        assert_eq!(s.partition_imbalance(), 0.0);
+        let scope = scoped();
+        set_phase("p");
+        record_partition(Duration::from_millis(1));
+        record_partition(Duration::from_millis(3));
+        let r = scope.report();
         let json = r.to_json();
-        assert!(json.contains("\"alpha\""));
-        assert!(json.contains("\"gate_evals\": 10"));
-        assert!(json.contains("\"events_skipped\": 7"));
-        assert!(json.contains("\"gate_evals_per_sec\""));
-        assert!(!format!("{r}").is_empty());
+        assert!(json.contains("\"partition_imbalance\": 1.5"), "{json}");
+        assert!(format!("{r}").contains("imbal"));
+    }
+
+    #[test]
+    fn json_keeps_existing_schema_fields() {
+        let scope = scoped();
+        set_phase("alpha");
+        add_gate_evals(10);
+        let json = scope.report().to_json();
+        for key in [
+            "\"gate_evals\": 10",
+            "\"fsim_invocations\": 0",
+            "\"faults_dropped\": 0",
+            "\"events_skipped\": 0",
+            "\"gate_evals_per_sec\"",
+            "\"wall_us\"",
+            "\"partitions\": 0",
+            "\"partition_wall_total_us\": 0",
+            "\"partition_wall_max_us\": 0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_scope() {
+        let scope = scoped();
+        set_phase("x");
+        add_gate_evals(1);
+        assert!(!scope.report().phases.is_empty());
         reset();
-        assert!(report().phases.is_empty());
+        assert!(scope.report().phases.is_empty());
+    }
+
+    #[test]
+    fn scopes_nest_and_isolate() {
+        let outer = scoped();
+        set_phase("outer");
+        add_gate_evals(1);
+        {
+            let inner = scoped();
+            set_phase("inner");
+            add_gate_evals(100);
+            let r = inner.report();
+            assert_eq!(r.totals().gate_evals, 100);
+            assert!(r.phases.iter().all(|(n, _)| n != "outer"));
+        }
+        // Counts recorded after the inner scope closed go to the outer one.
+        add_gate_evals(2);
+        let r = outer.report();
+        assert_eq!(r.totals().gate_evals, 3);
+        assert!(r.phases.iter().all(|(n, _)| n != "inner"));
+    }
+
+    #[test]
+    fn worker_threads_enter_a_scope_handle() {
+        let scope = scoped();
+        set_phase("workers");
+        let h = handle();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _g = h.enter();
+                    add_gate_evals(10);
+                    record_partition(Duration::from_micros(50));
+                });
+            }
+        });
+        let r = scope.report();
+        let w = &r.phases.iter().find(|(n, _)| n == "workers").unwrap().1;
+        assert_eq!(w.gate_evals, 40);
+        assert_eq!(w.partitions, 4);
     }
 }

@@ -1,0 +1,504 @@
+//! Named counters, gauges, and log-2-bucketed histograms.
+//!
+//! A [`MetricsRegistry`] maps names to metric cells. Resolving a name takes
+//! the registry lock once and returns a cheap `Arc`-backed handle
+//! ([`Counter`], [`Gauge`], [`Histogram`]); updates through the handle are
+//! lock-free atomics, so hot loops resolve their metrics up front and never
+//! touch the registry again.
+//!
+//! Histograms bucket values by bit length: bucket `0` holds the value `0`,
+//! and bucket `k ≥ 1` holds values in `[2^(k-1), 2^k - 1]` — so bucket
+//! boundaries are exact at powers of two (the value `2^j` is the lower
+//! bound of bucket `j + 1`). 65 buckets cover the full `u64` range.
+//!
+//! Registries are value types: the process-wide instance behind
+//! [`global`] serves production metrics, while tests (and scoped
+//! simulation-stats handles in `atspeed-sim`) construct their own.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: value 0, plus one per bit length of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket index for a value: `0` for `0`, else the value's bit length.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= NUM_BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        k => (1 << (k - 1), (1 << k) - 1),
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (registry-wide [`MetricsRegistry::zero`] uses this).
+    fn zero(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value / extremum gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (running maximum).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn zero(&self) {
+        self.set(0);
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log-2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value (bulk merge of pre-aggregated
+    /// thread-local tallies).
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.0.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.0.count.fetch_add(n, Ordering::Relaxed);
+        self.0
+            .sum
+            .fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+    }
+
+    /// Merges a pre-bucketed tally in one pass: `bucket_counts[k]` samples
+    /// fell into bucket `k`, `count` samples total, summing to `sum` in
+    /// raw value. This is the batched counterpart of [`Histogram::record`]
+    /// for thread-local tallies flushed once per work claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_counts` does not have [`NUM_BUCKETS`] entries.
+    pub fn merge_tally(&self, bucket_counts: &[u64], count: u64, sum: u64) {
+        assert_eq!(bucket_counts.len(), NUM_BUCKETS, "one count per bucket");
+        debug_assert_eq!(bucket_counts.iter().sum::<u64>(), count);
+        for (k, &n) in bucket_counts.iter().enumerate() {
+            if n > 0 {
+                self.0.buckets[k].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.0.count.fetch_add(count, Ordering::Relaxed);
+        self.0.sum.fetch_add(sum, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of the bucket contents for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = (0..NUM_BUCKETS)
+            .filter_map(|k| {
+                let n = self.0.buckets[k].load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_bounds(k).0, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+
+    fn zero(&self) {
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// `(bucket lower bound, sample count)`, non-empty buckets only,
+    /// ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named registry of counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (creating on first use) the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Resolves (creating on first use) the gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Resolves (creating on first use) the histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Zeroes every metric's value, keeping names and handles valid.
+    pub fn zero(&self) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for m in inner.values() {
+            match m {
+                Metric::Counter(c) => c.zero(),
+                Metric::Gauge(g) => g.zero(),
+                Metric::Histogram(h) => h.zero(),
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric, names ascending.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = MetricsSnapshot::default();
+        for (name, m) in inner.iter() {
+            match m {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+
+    /// Renders a snapshot as a JSON object with `counters`, `gauges`, and
+    /// `histograms` sections (histogram buckets keyed by lower bound).
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// A point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, names ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, names ascending.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` per histogram, names ascending.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The snapshot of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as a JSON object (see
+    /// [`MetricsRegistry::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{}\": {}",
+                if i > 0 { "," } else { "" },
+                crate::json_escape(name),
+                v
+            ));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{}\": {}",
+                if i > 0 { "," } else { "" },
+                crate::json_escape(name),
+                v
+            ));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.2}, \"buckets\": {{",
+                if i > 0 { "," } else { "" },
+                crate::json_escape(name),
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+            for (j, (lo, n)) in h.buckets.iter().enumerate() {
+                out.push_str(&format!(
+                    "{}\"{}\": {}",
+                    if j > 0 { ", " } else { "" },
+                    lo,
+                    n
+                ));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  }\n}");
+        out
+    }
+}
+
+/// The process-wide metrics registry (what `--metrics-json` exports).
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_at_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        for j in 0..64u32 {
+            let v = 1u64 << j;
+            // 2^j opens bucket j+1...
+            assert_eq!(bucket_index(v), j as usize + 1, "2^{j}");
+            // ...and 2^j - 1 closes bucket j.
+            assert_eq!(bucket_index(v - 1), j as usize, "2^{j} - 1");
+            assert_eq!(bucket_bounds(j as usize + 1).0, v);
+        }
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(4), (8, 15));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_records_into_expected_buckets() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (1024, 1)]);
+        assert!((s.mean() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_and_gauges_update_atomically_through_clones() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("a");
+        let a2 = reg.counter("a");
+        a.add(3);
+        a2.inc();
+        assert_eq!(reg.counter("a").get(), 4);
+
+        let g = reg.gauge("g");
+        g.set(5);
+        g.add(-2);
+        g.record_max(10);
+        g.record_max(7);
+        assert_eq!(reg.gauge("g").get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.gauge("x");
+        let _ = reg.counter("x");
+    }
+
+    #[test]
+    fn zero_keeps_handles_valid() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        c.add(7);
+        h.record(9);
+        reg.zero();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(reg.counter("c").get(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_shaped_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").add(2);
+        reg.counter("a").add(1);
+        reg.gauge("g").set(-3);
+        reg.histogram("h").record(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(1));
+        assert_eq!(snap.gauge("g"), Some(-3));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        let json = reg.to_json();
+        assert!(json.contains("\"a\": 1"));
+        assert!(json.contains("\"g\": -3"));
+        assert!(json.contains("\"4\": 1"), "bucket keyed by lower bound");
+    }
+}

@@ -1,0 +1,400 @@
+//! Hierarchical RAII spans and the Chrome trace-event JSON exporter.
+//!
+//! A [`Tracer`] collects *begin*/*end* events into per-thread buffers. Each
+//! [`Span`] guard emits a begin event when created and the matching end
+//! event when dropped; because guards drop in LIFO order, spans nest
+//! exactly like the lexical scopes that create them. Every thread gets its
+//! own buffer (and its own stable `tid`), so concurrent recording never
+//! interleaves events within a thread's timeline and the per-thread
+//! begin/end sequence is always balanced and properly nested.
+//!
+//! The export format is the Chrome trace-event JSON array understood by
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`: duration
+//! events with `"ph":"B"`/`"ph":"E"`, microsecond timestamps relative to
+//! the tracer's construction, one track per thread.
+//!
+//! # Cost model
+//!
+//! Tracing is opt-in. While disabled, [`Tracer::span`] is one relaxed
+//! atomic load and returns an inert guard — no allocation, no lock, no
+//! timestamp. This is what makes per-fault ATPG spans affordable: the
+//! disabled-path cost is negligible next to a single gate evaluation.
+//! While enabled, a span costs two buffer pushes behind a thread-private
+//! mutex (uncontended except during export).
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Process-wide tracer id allocator (tracers are distinguished in
+/// thread-local buffer caches by id, so test instances never mix).
+static NEXT_TRACER_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Cache of this thread's buffers, one per tracer it has recorded to.
+    static LOCAL_BUFS: RefCell<Vec<(usize, Arc<ThreadBuf>)>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    End,
+}
+
+#[derive(Debug)]
+struct Event {
+    name: Cow<'static, str>,
+    ph: Phase,
+    /// Microseconds since the tracer's epoch.
+    ts_us: u64,
+    /// Pre-rendered JSON object *body* for the Chrome `args` field, e.g.
+    /// `"circuit":"s27","faults":32`.
+    args: Option<String>,
+}
+
+#[derive(Debug)]
+struct ThreadBuf {
+    tid: u32,
+    events: Mutex<Vec<Event>>,
+}
+
+/// A span/event collector with per-thread buffers.
+///
+/// Most code uses the process-wide instance through the free functions
+/// ([`span`], [`set_tracing`], [`chrome_trace_json`]); tests construct
+/// their own instances for isolation.
+#[derive(Debug)]
+pub struct Tracer {
+    id: usize,
+    enabled: AtomicBool,
+    epoch: Instant,
+    next_tid: AtomicU32,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a disabled tracer whose timestamps are relative to now.
+    pub fn new() -> Self {
+        Tracer {
+            id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            next_tid: AtomicU32::new(1),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Turns recording on or off. Spans created while disabled record
+    /// nothing, including their end events.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans currently record events.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// This thread's buffer for this tracer, creating and registering it
+    /// on first use.
+    fn buf(&self) -> Arc<ThreadBuf> {
+        LOCAL_BUFS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, buf)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(buf);
+            }
+            let buf = Arc::new(ThreadBuf {
+                tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
+                events: Mutex::new(Vec::new()),
+            });
+            self.threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&buf));
+            cache.push((self.id, Arc::clone(&buf)));
+            buf
+        })
+    }
+
+    fn emit(&self, name: Cow<'static, str>, ph: Phase, args: Option<String>) {
+        let ts_us = self.epoch.elapsed().as_micros() as u64;
+        let buf = self.buf();
+        buf.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Event {
+                name,
+                ph,
+                ts_us,
+                args,
+            });
+    }
+
+    /// Opens a span named `name`; the span ends when the guard drops.
+    ///
+    /// Accepts `&'static str` (no allocation) or an owned `String` for
+    /// dynamic names. Returns an inert guard when the tracer is disabled.
+    #[inline]
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span {
+                tracer: None,
+                name: Cow::Borrowed(""),
+            };
+        }
+        self.span_slow(name.into(), None)
+    }
+
+    /// Opens a span with key/value arguments attached to its begin event
+    /// (visible in the Perfetto selection panel).
+    pub fn span_args(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        args: &[(&str, &dyn fmt::Display)],
+    ) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span {
+                tracer: None,
+                name: Cow::Borrowed(""),
+            };
+        }
+        self.span_slow(name.into(), Some(render_args(args)))
+    }
+
+    fn span_slow(&self, name: Cow<'static, str>, args: Option<String>) -> Span<'_> {
+        self.emit(name.clone(), Phase::Begin, args);
+        Span {
+            tracer: Some(self),
+            name,
+        }
+    }
+
+    /// Total events recorded so far (begin + end), across all threads.
+    pub fn num_events(&self) -> usize {
+        let threads = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+        threads
+            .iter()
+            .map(|b| b.events.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Discards all recorded events (thread registrations persist).
+    pub fn clear(&self) {
+        let threads = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+        for b in threads.iter() {
+            b.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
+    /// Renders everything recorded so far as a Chrome trace-event JSON
+    /// document (`{"traceEvents":[...]}`), loadable in Perfetto or
+    /// `chrome://tracing`.
+    ///
+    /// Events are emitted thread by thread, preserving each thread's
+    /// in-order begin/end sequence (the viewers sort by timestamp and
+    /// require no global order).
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let threads = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+        for buf in threads.iter() {
+            let events = buf.events.lock().unwrap_or_else(|e| e.into_inner());
+            for ev in events.iter() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n{{\"name\":\"{}\",\"cat\":\"atspeed\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+                    crate::json_escape(&ev.name),
+                    match ev.ph {
+                        Phase::Begin => "B",
+                        Phase::End => "E",
+                    },
+                    buf.tid,
+                    ev.ts_us,
+                ));
+                if let Some(args) = &ev.args {
+                    out.push_str(",\"args\":{");
+                    out.push_str(args);
+                    out.push('}');
+                }
+                out.push('}');
+            }
+        }
+        out.push_str("\n]}");
+        out
+    }
+}
+
+fn render_args(args: &[(&str, &dyn fmt::Display)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":\"{}\"",
+            crate::json_escape(k),
+            crate::json_escape(&v.to_string())
+        ));
+    }
+    out
+}
+
+/// RAII guard for one span: records the end event on drop.
+///
+/// Inert (records nothing) when created from a disabled tracer.
+#[derive(Debug)]
+#[must_use = "a span ends when its guard drops; binding it to `_` ends it immediately"]
+pub struct Span<'a> {
+    tracer: Option<&'a Tracer>,
+    name: Cow<'static, str>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(tracer) = self.tracer {
+            tracer.emit(std::mem::take(&mut self.name), Phase::End, None);
+        }
+    }
+}
+
+/// The process-wide tracer, lazily constructed.
+///
+/// Stays unconstructed (and [`tracing_enabled`] stays `false` at the cost
+/// of one atomic load) until [`set_tracing`] first turns recording on.
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer used by the free functions.
+pub fn global() -> &'static Tracer {
+    GLOBAL.get_or_init(Tracer::new)
+}
+
+/// Enables or disables the process-wide tracer (binaries call this for
+/// `--trace FILE`).
+pub fn set_tracing(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Whether the process-wide tracer is recording.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    GLOBAL.get().is_some_and(Tracer::is_enabled)
+}
+
+/// Opens a span on the process-wide tracer. Near-free while tracing is
+/// disabled.
+#[inline]
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span<'static> {
+    match GLOBAL.get() {
+        Some(t) if t.is_enabled() => t.span_slow(name.into(), None),
+        _ => Span {
+            tracer: None,
+            name: Cow::Borrowed(""),
+        },
+    }
+}
+
+/// Opens a span with arguments on the process-wide tracer.
+pub fn span_args(
+    name: impl Into<Cow<'static, str>>,
+    args: &[(&str, &dyn fmt::Display)],
+) -> Span<'static> {
+    match GLOBAL.get() {
+        Some(t) if t.is_enabled() => t.span_slow(name.into(), Some(render_args(args))),
+        _ => Span {
+            tracer: None,
+            name: Cow::Borrowed(""),
+        },
+    }
+}
+
+/// Exports the process-wide tracer's recording as Chrome trace JSON.
+pub fn chrome_trace_json() -> String {
+    global().chrome_trace_json()
+}
+
+/// Writes the process-wide tracer's recording to `path` as a Chrome
+/// trace-event file (open it at <https://ui.perfetto.dev>).
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("a");
+            let _b = t.span_args("b", &[("k", &1)]);
+        }
+        assert_eq!(t.num_events(), 0);
+        assert_eq!(
+            t.chrome_trace_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}"
+        );
+    }
+
+    #[test]
+    fn span_records_begin_and_end() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _a = t.span("alpha");
+        }
+        assert_eq!(t.num_events(), 2);
+        let json = t.chrome_trace_json();
+        assert!(json.contains("\"name\":\"alpha\",\"cat\":\"atspeed\",\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn clear_discards_events() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        drop(t.span("x"));
+        assert_eq!(t.num_events(), 2);
+        t.clear();
+        assert_eq!(t.num_events(), 0);
+    }
+
+    #[test]
+    fn args_are_escaped() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        drop(t.span_args("s", &[("label", &"a\"b")]));
+        let json = t.chrome_trace_json();
+        assert!(json.contains("\"label\":\"a\\\"b\""));
+    }
+
+    #[test]
+    fn spans_toggled_off_mid_run_stay_silent() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let s = t.span("outer");
+        t.set_enabled(false);
+        drop(t.span("inner")); // records nothing
+        drop(s); // end event for `outer` still records: guard is live
+        assert_eq!(t.num_events(), 2);
+    }
+}

@@ -1,0 +1,418 @@
+//! Exporter contract tests: the emitted Chrome trace JSON parses, span
+//! begin/end events are balanced and properly nested per thread, histogram
+//! bucket boundaries are exact at powers of two, and multi-threaded
+//! recording produces no interleaving corruption.
+//!
+//! The workspace carries no JSON dependency, so a minimal recursive-descent
+//! JSON parser lives at the bottom of this file; it accepts exactly the
+//! JSON grammar (it is the same validator the CI telemetry job re-checks
+//! with `python3 -m json.tool`).
+
+use atspeed_trace::metrics::{bucket_bounds, bucket_index};
+use atspeed_trace::{MetricsRegistry, Tracer};
+
+fn events_of(json: &str) -> Vec<(String, String, f64)> {
+    let doc = parse_json(json).expect("chrome trace JSON must parse");
+    let events = doc
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents is an array");
+    events
+        .iter()
+        .map(|e| {
+            let name = e.get("name").unwrap().as_str().unwrap().to_owned();
+            let ph = e.get("ph").unwrap().as_str().unwrap().to_owned();
+            let tid = e.get("tid").unwrap().as_f64().unwrap();
+            assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            (name, ph, tid)
+        })
+        .collect()
+}
+
+/// Per-tid stack replay: every E matches the innermost open B of the same
+/// name, and every stack drains to empty.
+fn assert_balanced_and_nested(events: &[(String, String, f64)]) {
+    use std::collections::BTreeMap;
+    let mut stacks: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+    for (name, ph, tid) in events {
+        let stack = stacks.entry(*tid as u64).or_default();
+        match ph.as_str() {
+            "B" => stack.push(name),
+            "E" => {
+                let open = stack
+                    .pop()
+                    .unwrap_or_else(|| panic!("end event `{name}` on tid {tid} with no open span"));
+                assert_eq!(open, name, "span ends must nest LIFO on tid {tid}");
+            }
+            other => panic!("unexpected phase `{other}`"),
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "tid {tid} left spans open: {stack:?}");
+    }
+}
+
+#[test]
+fn exported_json_parses_and_is_balanced() {
+    let t = Tracer::new();
+    t.set_enabled(true);
+    {
+        let _root = t.span("pipeline");
+        {
+            let _p1 = t.span_args("phase1", &[("circuit", &"s27"), ("note", &"a\"b\\c")]);
+        }
+        let _p2 = t.span("phase2");
+    }
+    let json = t.chrome_trace_json();
+    let events = events_of(&json);
+    assert_eq!(events.len(), 6);
+    assert_balanced_and_nested(&events);
+}
+
+#[test]
+fn nested_spans_nest_in_emitted_order() {
+    let t = Tracer::new();
+    t.set_enabled(true);
+    {
+        let _a = t.span("outer");
+        {
+            let _b = t.span("middle");
+            let _c = t.span("inner");
+        }
+    }
+    let events = events_of(&t.chrome_trace_json());
+    let shape: Vec<(&str, &str)> = events
+        .iter()
+        .map(|(n, p, _)| (n.as_str(), p.as_str()))
+        .collect();
+    assert_eq!(
+        shape,
+        [
+            ("outer", "B"),
+            ("middle", "B"),
+            ("inner", "B"),
+            ("inner", "E"),
+            ("middle", "E"),
+            ("outer", "E"),
+        ]
+    );
+    assert_balanced_and_nested(&events);
+}
+
+#[test]
+fn timestamps_are_monotone_within_a_thread() {
+    let t = Tracer::new();
+    t.set_enabled(true);
+    for _ in 0..50 {
+        let _s = t.span("tick");
+    }
+    let doc = parse_json(&t.chrome_trace_json()).unwrap();
+    let ts: Vec<f64> = doc
+        .get("traceEvents")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn multithreaded_recording_has_no_interleaving_corruption() {
+    let t = Tracer::new();
+    t.set_enabled(true);
+    std::thread::scope(|s| {
+        for w in 0..8 {
+            let t = &t;
+            s.spawn(move || {
+                for i in 0..200 {
+                    let _outer = t.span(if w % 2 == 0 { "even" } else { "odd" });
+                    if i % 3 == 0 {
+                        let _inner = t.span("nested");
+                    }
+                }
+            });
+        }
+    });
+    let json = t.chrome_trace_json();
+    let events = events_of(&json);
+    // 8 workers x 200 outer spans, plus 67 nested spans each, x2 (B+E).
+    assert_eq!(events.len(), 8 * (200 + 67) * 2);
+    assert_balanced_and_nested(&events);
+    // Worker threads and their tids are 1:1.
+    let tids: std::collections::BTreeSet<u64> =
+        events.iter().map(|(_, _, tid)| *tid as u64).collect();
+    assert_eq!(tids.len(), 8);
+}
+
+#[test]
+fn histogram_bucket_boundaries_power_of_two_contract() {
+    // 1000 = 0b1111101000 sits in [512, 1023]; 1024 opens the next bucket.
+    assert_eq!(bucket_index(1000), 10);
+    assert_eq!(bucket_index(1023), 10);
+    assert_eq!(bucket_index(1024), 11);
+    assert_eq!(bucket_bounds(11), (1024, 2047));
+
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("walls");
+    for v in [0u64, 1, 2, 4, 8, 16, 16, 31, 32] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(
+        snap.buckets,
+        vec![(0, 1), (1, 1), (2, 1), (4, 1), (8, 1), (16, 3), (32, 1)]
+    );
+    // The registry JSON parses too.
+    let doc = parse_json(&reg.to_json()).expect("metrics JSON parses");
+    let hist = doc
+        .get("histograms")
+        .unwrap()
+        .get("walls")
+        .expect("walls histogram present");
+    assert_eq!(hist.get("count").unwrap().as_f64().unwrap(), 9.0);
+    assert_eq!(
+        hist.get("buckets").unwrap().get("16").unwrap().as_f64(),
+        Some(3.0)
+    );
+}
+
+#[test]
+fn metrics_json_with_awkward_names_still_parses() {
+    let reg = MetricsRegistry::new();
+    reg.counter("weird \"name\"\\path").add(1);
+    reg.gauge("g").set(-7);
+    let doc = parse_json(&reg.to_json()).expect("escaped names parse");
+    assert_eq!(
+        doc.get("counters")
+            .unwrap()
+            .get("weird \"name\"\\path")
+            .unwrap()
+            .as_f64(),
+        Some(1.0)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (test-only): full grammar, no dependencies.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], ' ' | '\t' | '\n' | '\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at {pos}"))
+    }
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some('{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, ':')?;
+                pairs.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at {pos}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at {pos}")),
+                }
+            }
+        }
+        Some('"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some('t') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some('f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some('n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[char], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    for c in lit.chars() {
+        if b.get(*pos) != Some(&c) {
+            return Err(format!("bad literal at {pos}"));
+        }
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_string(b: &[char], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("short \\u escape")?
+                            .iter()
+                            .collect();
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                    }
+                    other => return Err(format!("bad escape `\\{other}`")),
+                }
+            }
+            c if (c as u32) < 0x20 => return Err("raw control character in string".into()),
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    // Integer part: `0` alone or a nonzero digit run (no leading zeros).
+    match b.get(*pos) {
+        Some('0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(*pos).is_some_and(char::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(format!("bad number at {start}")),
+    }
+    if b.get(*pos) == Some(&'.') {
+        *pos += 1;
+        if !b.get(*pos).is_some_and(char::is_ascii_digit) {
+            return Err(format!("bad fraction at {pos}"));
+        }
+        while b.get(*pos).is_some_and(char::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some('e') | Some('E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some('+') | Some('-')) {
+            *pos += 1;
+        }
+        if !b.get(*pos).is_some_and(char::is_ascii_digit) {
+            return Err(format!("bad exponent at {pos}"));
+        }
+        while b.get(*pos).is_some_and(char::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    let text: String = b[start..*pos].iter().collect();
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("unparsable number `{text}`"))
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare a `tables --metrics-json` output against a committed baseline.
+
+Usage:
+
+    check_metrics_baseline.py CURRENT.json BASELINE.json [--max-regression 0.25]
+
+Validates that CURRENT.json is well-formed telemetry output (top-level
+`counters`, `gauges`, `histograms`, `derived` objects) and fails when the
+headline `derived.gate_evals_per_sec` figure regressed by more than
+`--max-regression` (default 25%) relative to the baseline. Improvements
+never fail; print-only fields (wall time, imbalance) are reported for
+context but not gated, since they vary with machine load.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-regression", type=float, default=0.25)
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    for key in ("counters", "gauges", "histograms", "derived"):
+        if key not in current or not isinstance(current[key], dict):
+            sys.exit(f"error: {args.current} is missing the `{key}` object")
+
+    cur = current["derived"].get("gate_evals_per_sec")
+    base = baseline["derived"].get("gate_evals_per_sec")
+    if not isinstance(cur, (int, float)) or cur <= 0:
+        sys.exit(f"error: bad current gate_evals_per_sec: {cur!r}")
+    if not isinstance(base, (int, float)) or base <= 0:
+        sys.exit(f"error: bad baseline gate_evals_per_sec: {base!r}")
+
+    floor = base * (1.0 - args.max_regression)
+    ratio = cur / base
+    print(f"gate_evals_per_sec: current {cur:.0f}, baseline {base:.0f} "
+          f"(ratio {ratio:.2f}, floor {floor:.0f})")
+    for field in ("gate_evals_total", "wall_us_total", "partition_imbalance"):
+        c = current["derived"].get(field)
+        b = baseline["derived"].get(field)
+        print(f"{field}: current {c}, baseline {b}")
+
+    if cur < floor:
+        sys.exit(
+            f"FAIL: gate_evals_per_sec regressed more than "
+            f"{args.max_regression:.0%} (ratio {ratio:.2f})"
+        )
+    print("OK: throughput within the allowed regression envelope")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Sanity-check a Chrome trace-event JSON produced by `--trace`.
+
+Usage:
+
+    check_trace_json.py TRACE.json
+
+Asserts the file parses, contains a non-empty `traceEvents` array, every
+event carries the expected fields, and B/E events balance per thread (a
+stack-discipline replay, so nesting is also validated).
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} TRACE.json")
+    path = sys.argv[1]
+    with open(path, encoding="utf-8") as f:
+        trace = json.load(f)
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        sys.exit("error: traceEvents missing or empty")
+
+    stacks = defaultdict(list)
+    for e in events:
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in e:
+                sys.exit(f"error: event missing `{field}`: {e}")
+        if e["ph"] == "B":
+            stacks[e["tid"]].append(e["name"])
+        elif e["ph"] == "E":
+            if not stacks[e["tid"]]:
+                sys.exit(f"error: unbalanced E on tid {e['tid']}")
+            stacks[e["tid"]].pop()
+        else:
+            sys.exit(f"error: unexpected phase {e['ph']!r}")
+    unbalanced = {tid: s for tid, s in stacks.items() if s}
+    if unbalanced:
+        sys.exit(f"error: unclosed spans: {unbalanced}")
+
+    tids = {e["tid"] for e in events}
+    print(f"OK: {len(events)} events across {len(tids)} thread tracks, "
+          f"all spans balanced")
+
+
+if __name__ == "__main__":
+    main()

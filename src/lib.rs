@@ -13,7 +13,10 @@
 //!   generators standing in for STRATEGATE and PROPTEST;
 //! - [`core`] — the paper's four-phase compaction procedure, the static
 //!   test-combining compaction of \[4\], a dynamic-compaction baseline in the
-//!   spirit of \[2,3\], and the clock-cycle cost model.
+//!   spirit of \[2,3\], and the clock-cycle cost model;
+//! - [`trace`] — workspace telemetry: hierarchical spans with Chrome
+//!   trace-event export, a counter/gauge/histogram registry, and leveled
+//!   structured JSONL logs.
 //!
 //! This facade crate re-exports the four member crates under stable names.
 //! See the workspace `README.md` for a tour and `DESIGN.md` for the
@@ -41,3 +44,4 @@ pub use atspeed_atpg as atpg;
 pub use atspeed_circuit as circuit;
 pub use atspeed_core as core;
 pub use atspeed_sim as sim;
+pub use atspeed_trace as trace;
