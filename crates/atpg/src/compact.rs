@@ -18,21 +18,46 @@
 //!   late detections and faults observed solely at scan-out — need to be
 //!   re-simulated per attempt. This cuts most attempts from the full fault
 //!   set to a handful of parallel-fault groups.
+//!
+//! # Speculative parallel sweeps
+//!
+//! With `cfg.sim.threads > 1` the sweep turns into a speculative engine:
+//! workers each own a [`SeqFaultSim`] (engine and scratch reused across
+//! claims) and concurrently fault-simulate candidate omissions at several
+//! descending positions ahead of a *commit point*. Results are committed
+//! in strictly descending position order, each against the exact sequence
+//! the serial sweep would hold at that position. Every accepted removal
+//! bumps an epoch counter; speculations computed against an older epoch
+//! are discarded (counted in [`OmissionStats::wasted`]) and recomputed, so
+//! the accept/reject decisions — and therefore the compacted sequence and
+//! every stat except `wasted` — are bit-for-bit identical to the serial
+//! sweep at any thread count. The per-sweep detection profile is computed
+//! once (sharded over the same workers via [`ParallelFsim::profiles`]) and
+//! shared read-only by all speculations, and `attempt_budget` is accounted
+//! at the commit point exactly as the serial loop accounts it.
+
+use std::sync::{Arc, Condvar, Mutex};
 
 use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{SeqFaultSim, Sequence, State};
+use atspeed_sim::fsim_seq::DetectionProfile;
+use atspeed_sim::{stats as sim_stats, ParallelFsim, SeqFaultSim, Sequence, SimConfig, State};
 
 /// Configuration for [`omit_vectors`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OmissionConfig {
-    /// Maximum single-vector sweeps after the chunked rounds.
+    /// Single-vector sweeps after the chunked rounds. `0` runs the chunked
+    /// rounds only (when `chunked` is set; otherwise nothing at all).
     pub max_passes: usize,
     /// Whether to run the chunked (delta-debugging style) rounds first.
     pub chunked: bool,
     /// Upper bound on fault-simulation attempts (profile simulations at
     /// sweep starts count too).
     pub attempt_budget: usize,
+    /// Threading for the omission sweeps. The default (1 thread)
+    /// reproduces the single-threaded sweep bit-for-bit; more threads
+    /// speculate on upcoming omission candidates with identical results.
+    pub sim: SimConfig,
 }
 
 impl Default for OmissionConfig {
@@ -41,6 +66,7 @@ impl Default for OmissionConfig {
             max_passes: 2,
             chunked: true,
             attempt_budget: usize::MAX,
+            sim: SimConfig::default(),
         }
     }
 }
@@ -52,6 +78,14 @@ pub struct OmissionStats {
     pub attempts: usize,
     /// Vectors removed.
     pub removed: usize,
+    /// Sweeps run (each sweep simulates one detection profile).
+    pub sweeps: usize,
+    /// Attempts whose removal was accepted.
+    pub accepted: usize,
+    /// Speculative simulations discarded because an earlier accepted
+    /// removal invalidated their snapshot. Always `0` on the serial path;
+    /// the only field allowed to vary with the thread count.
+    pub wasted: usize,
 }
 
 /// Omits vectors from `seq` while preserving detection of every fault in
@@ -61,7 +95,8 @@ pub struct OmissionStats {
 ///
 /// Returns the shortened sequence and statistics. The result always detects
 /// every target fault that the input sequence detects; callers normally
-/// pass exactly the detected set (the paper's `F_SO`).
+/// pass exactly the detected set (the paper's `F_SO`). The result is
+/// independent of `cfg.sim.threads`.
 pub fn omit_vectors(
     nl: &Netlist,
     universe: &FaultUniverse,
@@ -75,108 +110,118 @@ pub fn omit_vectors(
     if seq.len() <= 1 || targets.is_empty() {
         return (seq.clone(), stats);
     }
-    let mut fsim = SeqFaultSim::new(nl);
-    let mut current = seq.clone();
+    let _sp = atspeed_trace::span("omission.omit_vectors");
+    let started = std::time::Instant::now();
 
-    // Sweep schedule: halving chunk sizes down to 1, then extra
-    // single-vector passes.
+    let schedule = chunk_schedule(seq.len(), cfg);
+    let threads = cfg.sim.effective_threads(seq.len());
+    let out = if threads <= 1 {
+        omit_serial(
+            nl,
+            universe,
+            init,
+            seq,
+            targets,
+            observe_final_state,
+            cfg,
+            &schedule,
+            &mut stats,
+        )
+    } else {
+        omit_parallel(
+            nl,
+            universe,
+            init,
+            seq,
+            targets,
+            observe_final_state,
+            cfg,
+            &schedule,
+            threads,
+            &mut stats,
+        )
+    };
+
+    let m = atspeed_trace::metrics::global();
+    m.counter("omission/attempts").add(stats.attempts as u64);
+    m.counter("omission/accepted").add(stats.accepted as u64);
+    m.counter("omission/removed").add(stats.removed as u64);
+    m.counter("omission/wasted").add(stats.wasted as u64);
+    m.counter("omission/wall_us")
+        .add(started.elapsed().as_micros() as u64);
+    (out, stats)
+}
+
+/// Sweep schedule: halving chunk sizes down to 2, then `max_passes`
+/// single-vector passes. `max_passes: 0` schedules no single passes.
+fn chunk_schedule(len: usize, cfg: OmissionConfig) -> Vec<usize> {
     let mut chunks: Vec<usize> = Vec::new();
     if cfg.chunked {
-        let mut c = current.len() / 2;
+        let mut c = len / 2;
         while c >= 2 {
             chunks.push(c);
             c /= 2;
         }
     }
-    chunks.extend(std::iter::repeat_n(1, cfg.max_passes.max(1)));
-
-    for chunk in chunks {
-        if stats.attempts >= cfg.attempt_budget || current.len() <= 1 {
-            break;
-        }
-        let changed = sweep(
-            nl,
-            universe,
-            &mut fsim,
-            init,
-            &mut current,
-            targets,
-            observe_final_state,
-            chunk,
-            cfg.attempt_budget,
-            &mut stats,
-        );
-        if chunk == 1 && !changed {
-            break;
-        }
-    }
-    (current, stats)
+    chunks.extend(std::iter::repeat_n(1, cfg.max_passes));
+    chunks
 }
 
-/// One strictly-descending sweep at a fixed chunk size. Returns whether any
-/// removal was accepted.
-#[allow(clippy::too_many_arguments)]
-fn sweep(
-    _nl: &Netlist,
-    universe: &FaultUniverse,
-    fsim: &mut SeqFaultSim<'_>,
-    init: &State,
-    current: &mut Sequence,
-    targets: &[FaultId],
-    observe_final_state: bool,
-    chunk: usize,
-    budget: usize,
-    stats: &mut OmissionStats,
-) -> bool {
-    if current.len() <= 1 {
-        return false;
-    }
-    // Profile the sweep's starting sequence. `po_detect` times anchor the
-    // prefix-invariance rule; faults without a primary-output detection
-    // (scan-out-only, or undetected) must be re-checked on every attempt.
-    stats.attempts += 1;
-    let profiles = fsim.profiles(init, current, targets, universe);
-    let mut keyed: Vec<(u32, FaultId)> = targets
-        .iter()
-        .zip(profiles.iter())
-        .map(|(&f, p)| (p.po_detect.unwrap_or(u32::MAX), f))
-        .collect();
-    keyed.sort_unstable();
-    let keys: Vec<u32> = keyed.iter().map(|&(k, _)| k).collect();
-    let ordered: Vec<FaultId> = keyed.iter().map(|&(_, f)| f).collect();
-
-    let mut changed = false;
-    let mut t = current.len().saturating_sub(chunk);
+/// The fixed descending position list of one sweep: `len - chunk` stepping
+/// down by `chunk` to 0 inclusive. Computed once at sweep start; removals
+/// accepted mid-sweep change only each later attempt's `end` clipping and
+/// feasibility, never the positions themselves.
+fn positions(len: usize, chunk: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(len / chunk.max(1) + 2);
+    let mut t = len.saturating_sub(chunk);
     loop {
-        if stats.attempts >= budget {
-            break;
-        }
-        let end = (t + chunk).min(current.len());
-        if end > t && current.len() - (end - t) >= 1 {
-            // Faults safely detected strictly before position `t` keep
-            // their detection (the prefix is untouched by this and all
-            // later attempts of this descending sweep).
-            let first = keys.partition_point(|&k| k < t as u32);
-            let check = &ordered[first..];
-            let candidate = remove_range(current, t, end);
-            stats.attempts += 1;
-            let ok = check.is_empty()
-                || fsim
-                    .detect(init, &candidate, check, universe, observe_final_state)
-                    .iter()
-                    .all(|&d| d);
-            if ok {
-                stats.removed += end - t;
-                *current = candidate;
-                changed = true;
-            }
-        }
+        out.push(t);
         if t == 0 {
             break;
         }
         t = t.saturating_sub(chunk);
     }
-    changed
+    out
+}
+
+/// The sweep-start detection profile, ordered for suffix lookup: the check
+/// set of an attempt at position `t` is the suffix of faults whose
+/// `po_detect` key is `>= t`. A pure function of `t` and the sweep-start
+/// profile — independent of which removals the sweep later accepts — so it
+/// is shared read-only by every (speculative or serial) attempt.
+struct SweepPlan {
+    keys: Vec<u32>,
+    ordered: Vec<FaultId>,
+}
+
+impl SweepPlan {
+    fn new(targets: &[FaultId], profiles: &[DetectionProfile]) -> Self {
+        let mut keyed: Vec<(u32, FaultId)> = targets
+            .iter()
+            .zip(profiles.iter())
+            .map(|(&f, p)| (p.po_detect.unwrap_or(u32::MAX), f))
+            .collect();
+        keyed.sort_unstable();
+        SweepPlan {
+            keys: keyed.iter().map(|&(k, _)| k).collect(),
+            ordered: keyed.into_iter().map(|(_, f)| f).collect(),
+        }
+    }
+
+    /// Faults that must be re-simulated for an attempt at position `t`:
+    /// everything not safely detected strictly inside the untouched prefix.
+    fn check_set(&self, t: usize) -> &[FaultId] {
+        let first = self.keys.partition_point(|&k| k < t as u32);
+        &self.ordered[first..]
+    }
+}
+
+/// The window `[t, end)` an attempt at position `t` would remove, and
+/// whether removing it is feasible (non-empty, leaves at least one
+/// vector). Both depend on the live length when the position is reached.
+fn attempt_window(t: usize, chunk: usize, len: usize) -> (usize, bool) {
+    let end = (t + chunk).min(len);
+    (end, end > t && len - (end - t) >= 1)
 }
 
 fn remove_range(seq: &Sequence, start: usize, end: usize) -> Sequence {
@@ -185,6 +230,427 @@ fn remove_range(seq: &Sequence, start: usize, end: usize) -> Sequence {
         .filter(|(i, _)| *i < start || *i >= end)
         .map(|(_, v)| v.clone())
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serial path (the reference semantics).
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn omit_serial(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    init: &State,
+    seq: &Sequence,
+    targets: &[FaultId],
+    observe_final_state: bool,
+    cfg: OmissionConfig,
+    schedule: &[usize],
+    stats: &mut OmissionStats,
+) -> Sequence {
+    let mut fsim = SeqFaultSim::new(nl);
+    let mut current = seq.clone();
+    for &chunk in schedule {
+        if stats.attempts >= cfg.attempt_budget || current.len() <= 1 {
+            break;
+        }
+        // The schedule is computed from the original length; clamp against
+        // the live sequence so every position of the sweep can host a
+        // feasible omission instead of spending the profile attempt on a
+        // sweep that cannot remove anything.
+        let chunk = chunk.min(current.len() - 1);
+        let _sp = atspeed_trace::span("omission.sweep");
+        stats.sweeps += 1;
+        // Profile the sweep's starting sequence. `po_detect` times anchor
+        // the prefix-invariance rule; this simulation counts against the
+        // attempt budget.
+        stats.attempts += 1;
+        let profiles = fsim.profiles(init, &current, targets, universe);
+        let plan = SweepPlan::new(targets, &profiles);
+
+        let mut changed = false;
+        for &t in &positions(current.len(), chunk) {
+            if stats.attempts >= cfg.attempt_budget {
+                break;
+            }
+            let (end, feasible) = attempt_window(t, chunk, current.len());
+            if !feasible {
+                continue;
+            }
+            debug_assert!(
+                end <= current.len() && current.len() - (end - t) >= 1,
+                "attempts must be spent on feasible omissions only"
+            );
+            let check = plan.check_set(t);
+            let candidate = remove_range(&current, t, end);
+            stats.attempts += 1;
+            let ok = check.is_empty()
+                || fsim.detects_all(init, &candidate, check, universe, observe_final_state);
+            if ok {
+                stats.removed += end - t;
+                stats.accepted += 1;
+                current = candidate;
+                changed = true;
+            }
+        }
+        if chunk == 1 && !changed {
+            break;
+        }
+    }
+    current
+}
+
+// ---------------------------------------------------------------------------
+// Parallel speculative path.
+// ---------------------------------------------------------------------------
+
+/// Lifecycle of one sweep position in the speculative engine.
+#[derive(Clone)]
+enum Slot {
+    /// Claimable (initial, or reset after a stale speculation).
+    Open,
+    /// A worker is simulating it against the sequence of its claim epoch.
+    Running,
+    /// Simulated against `epoch`. `verdict` is `None` when the position
+    /// was infeasible at that epoch, otherwise the accept decision and the
+    /// candidate sequence a commit would install.
+    Done {
+        epoch: u64,
+        verdict: Option<(bool, Arc<Sequence>)>,
+    },
+    /// Past the commit point.
+    Spent,
+}
+
+/// One sweep's shared state. `epoch` counts accepted removals; a
+/// speculation is valid only if the epoch it was computed against is still
+/// live when its position reaches the commit point.
+struct SweepState {
+    id: u64,
+    chunk: usize,
+    positions: Vec<usize>,
+    plan: Arc<SweepPlan>,
+    slots: Vec<Slot>,
+    seq: Arc<Sequence>,
+    epoch: u64,
+    commit_idx: usize,
+    changed: bool,
+    active: bool,
+}
+
+/// Coordinator state shared by the driver and the workers.
+struct Shared {
+    sweep: Option<SweepState>,
+    attempts: usize,
+    removed: usize,
+    accepted: usize,
+    wasted: usize,
+    budget: usize,
+    shutdown: bool,
+}
+
+struct Coord {
+    state: Mutex<Shared>,
+    cv: Condvar,
+}
+
+/// A claimed speculation: everything a worker needs away from the lock.
+struct Claim {
+    sweep_id: u64,
+    idx: usize,
+    t: usize,
+    chunk: usize,
+    epoch: u64,
+    seq: Arc<Sequence>,
+    plan: Arc<SweepPlan>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn omit_parallel(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    init: &State,
+    seq: &Sequence,
+    targets: &[FaultId],
+    observe_final_state: bool,
+    cfg: OmissionConfig,
+    schedule: &[usize],
+    threads: usize,
+    stats: &mut OmissionStats,
+) -> Sequence {
+    let pfsim = ParallelFsim::new(nl, cfg.sim);
+    let coord = Coord {
+        state: Mutex::new(Shared {
+            sweep: None,
+            attempts: 0,
+            removed: 0,
+            accepted: 0,
+            wasted: 0,
+            budget: cfg.attempt_budget,
+            shutdown: false,
+        }),
+        cv: Condvar::new(),
+    };
+    // Speculation depth: how many positions past the commit point workers
+    // may simulate ahead. Deeper windows hide more latency but waste more
+    // work per accepted removal.
+    let window = (threads * 2).max(4);
+    let mut current = Arc::new(seq.clone());
+    let mut sweeps = 0usize;
+
+    // Workers inherit the calling thread's stats destination; they persist
+    // across every sweep so each engine (and its simulation scratch) is
+    // built exactly once.
+    let h = sim_stats::handle();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let _g = h.enter();
+                worker_loop(nl, universe, init, observe_final_state, &coord, window);
+            });
+        }
+
+        for &chunk in schedule {
+            let spent = lock(&coord.state).attempts;
+            if spent >= cfg.attempt_budget || current.len() <= 1 {
+                break;
+            }
+            let chunk = chunk.min(current.len() - 1);
+            let _sp = atspeed_trace::span("omission.sweep");
+            sweeps += 1;
+            // Profile attempt, accounted exactly as the serial driver
+            // accounts it; the profile itself is sharded across workers.
+            lock(&coord.state).attempts += 1;
+            let profiles = pfsim.profiles(init, &current, targets, universe);
+            let plan = Arc::new(SweepPlan::new(targets, &profiles));
+            let pos = positions(current.len(), chunk);
+
+            let mut st = lock(&coord.state);
+            st.sweep = Some(SweepState {
+                id: sweeps as u64,
+                chunk,
+                slots: vec![Slot::Open; pos.len()],
+                positions: pos,
+                plan,
+                seq: current.clone(),
+                epoch: 0,
+                commit_idx: 0,
+                changed: false,
+                active: true,
+            });
+            // The budget may already be exhausted by the profile attempt;
+            // try_commit ends the sweep immediately in that case.
+            try_commit(&mut st);
+            coord.cv.notify_all();
+            while st.sweep.as_ref().is_some_and(|sw| sw.active) {
+                st = coord.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let sw = st.sweep.take().expect("sweep present until taken");
+            drop(st);
+            current = sw.seq;
+            if chunk == 1 && !sw.changed {
+                break;
+            }
+        }
+
+        let mut st = lock(&coord.state);
+        st.shutdown = true;
+        coord.cv.notify_all();
+    });
+
+    let st = coord.state.into_inner().unwrap_or_else(|e| e.into_inner());
+    stats.attempts = st.attempts;
+    stats.removed = st.removed;
+    stats.accepted = st.accepted;
+    stats.wasted = st.wasted;
+    stats.sweeps = sweeps;
+    Arc::try_unwrap(current).unwrap_or_else(|arc| (*arc).clone())
+}
+
+fn lock<'m>(m: &'m Mutex<Shared>) -> std::sync::MutexGuard<'m, Shared> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    init: &State,
+    observe_final_state: bool,
+    coord: &Coord,
+    window: usize,
+) {
+    let mut fsim = SeqFaultSim::new(nl);
+    let mut guard = lock(&coord.state);
+    loop {
+        let claim = loop {
+            if guard.shutdown {
+                return;
+            }
+            if let Some(c) = try_claim(&mut guard, window) {
+                break c;
+            }
+            guard = coord.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        };
+        drop(guard);
+
+        // Simulate outside the lock against the claimed snapshot. If the
+        // snapshot's epoch is still live at commit time, this is exactly
+        // the candidate the serial sweep would have simulated here.
+        let (end, feasible) = attempt_window(claim.t, claim.chunk, claim.seq.len());
+        let verdict = if feasible {
+            let candidate = remove_range(&claim.seq, claim.t, end);
+            let check = claim.plan.check_set(claim.t);
+            let _sp = atspeed_trace::span("omission.speculate");
+            let ok = check.is_empty()
+                || fsim.detects_all(init, &candidate, check, universe, observe_final_state);
+            Some((ok, Arc::new(candidate)))
+        } else {
+            None
+        };
+
+        guard = lock(&coord.state);
+        let mut notify = report(&mut guard, &claim, verdict);
+        notify |= try_commit(&mut guard);
+        if notify {
+            coord.cv.notify_all();
+        }
+    }
+}
+
+/// Claims the earliest open position within the speculation window.
+/// Called with the state lock held.
+fn try_claim(st: &mut Shared, window: usize) -> Option<Claim> {
+    if st.attempts >= st.budget {
+        return None;
+    }
+    let sw = st.sweep.as_mut()?;
+    if !sw.active {
+        return None;
+    }
+    let hi = (sw.commit_idx + window).min(sw.positions.len());
+    for idx in sw.commit_idx..hi {
+        if matches!(sw.slots[idx], Slot::Open) {
+            sw.slots[idx] = Slot::Running;
+            return Some(Claim {
+                sweep_id: sw.id,
+                idx,
+                t: sw.positions[idx],
+                chunk: sw.chunk,
+                epoch: sw.epoch,
+                seq: sw.seq.clone(),
+                plan: sw.plan.clone(),
+            });
+        }
+    }
+    None
+}
+
+/// Files a speculation result. Results for a finished sweep, or computed
+/// against a superseded epoch, are discarded (and re-opened for a fresh
+/// speculation when the position is still pending). Called with the state
+/// lock held; returns whether waiters should be notified.
+fn report(st: &mut Shared, claim: &Claim, verdict: Option<(bool, Arc<Sequence>)>) -> bool {
+    let simmed = verdict.is_some();
+    let discard = |st: &mut Shared| {
+        if simmed {
+            st.wasted += 1;
+        }
+        false
+    };
+    let Some(sw) = st.sweep.as_mut() else {
+        return discard(st);
+    };
+    if sw.id != claim.sweep_id || !sw.active {
+        return discard(st);
+    }
+    match sw.slots[claim.idx] {
+        Slot::Running => {
+            if claim.epoch == sw.epoch {
+                sw.slots[claim.idx] = Slot::Done {
+                    epoch: claim.epoch,
+                    verdict,
+                };
+            } else {
+                // An accepted removal superseded the snapshot mid-flight:
+                // reopen so a worker recomputes against the live sequence.
+                sw.slots[claim.idx] = Slot::Open;
+                discard(st);
+            }
+            true
+        }
+        // The commit point skipped past this position (infeasible at the
+        // live length) while the speculation ran.
+        Slot::Spent => discard(st),
+        Slot::Open | Slot::Done { .. } => unreachable!("claimed slot owned by this worker"),
+    }
+}
+
+/// Advances the commit point: commits `Done` results computed against the
+/// live epoch in strictly descending position order, skips infeasible
+/// positions without spending attempts, and ends the sweep at the budget
+/// or past the last position — the serial loop's accounting, verbatim.
+/// Called with the state lock held; returns whether waiters should be
+/// notified.
+fn try_commit(st: &mut Shared) -> bool {
+    let mut notify = false;
+    let mut wasted = 0usize;
+    let Some(sw) = st.sweep.as_mut() else {
+        return false;
+    };
+    if !sw.active {
+        return false;
+    }
+    loop {
+        if sw.commit_idx >= sw.positions.len() || st.attempts >= st.budget {
+            sw.active = false;
+            notify = true;
+            break;
+        }
+        let t = sw.positions[sw.commit_idx];
+        let (end, feasible) = attempt_window(t, sw.chunk, sw.seq.len());
+        if !feasible {
+            sw.slots[sw.commit_idx] = Slot::Spent;
+            sw.commit_idx += 1;
+            continue;
+        }
+        match &sw.slots[sw.commit_idx] {
+            Slot::Done { epoch, verdict } if *epoch == sw.epoch => {
+                st.attempts += 1;
+                let (ok, cand) = verdict.clone().expect(
+                    "a speculation at the live epoch saw the live length, hence feasibility",
+                );
+                if ok {
+                    st.removed += end - t;
+                    st.accepted += 1;
+                    sw.seq = cand;
+                    sw.epoch += 1;
+                    sw.changed = true;
+                    // Eagerly reopen stale speculations so workers redo
+                    // them now instead of when the commit point finds them.
+                    for slot in sw.slots[sw.commit_idx + 1..].iter_mut() {
+                        if matches!(slot, Slot::Done { epoch, .. } if *epoch != sw.epoch) {
+                            *slot = Slot::Open;
+                            wasted += 1;
+                        }
+                    }
+                }
+                sw.slots[sw.commit_idx] = Slot::Spent;
+                sw.commit_idx += 1;
+                notify = true;
+            }
+            Slot::Done { .. } => {
+                // Stale result at the commit point: recompute it.
+                sw.slots[sw.commit_idx] = Slot::Open;
+                wasted += 1;
+                notify = true;
+                break;
+            }
+            Slot::Running | Slot::Open => break,
+            Slot::Spent => unreachable!("commit point advances past spent slots"),
+        }
+    }
+    st.wasted += wasted;
+    notify
 }
 
 #[cfg(test)]
@@ -288,7 +754,7 @@ mod tests {
         let cfg = OmissionConfig {
             max_passes: 1,
             chunked: false,
-            attempt_budget: usize::MAX,
+            ..OmissionConfig::default()
         };
         let (fast, _) = omit_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
         // Reference: naive descending single sweep.
@@ -389,5 +855,158 @@ mod tests {
             OmissionConfig::default(),
         );
         assert_eq!(short.len(), 4);
+    }
+
+    #[test]
+    fn max_passes_zero_is_honored() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        // No chunked rounds, no single passes: nothing runs at all.
+        let cfg = OmissionConfig {
+            max_passes: 0,
+            chunked: false,
+            ..OmissionConfig::default()
+        };
+        let (short, stats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
+        assert_eq!(short, seq, "no sweeps scheduled, sequence untouched");
+        assert_eq!(stats.attempts, 0);
+        assert_eq!(stats.sweeps, 0);
+        // Chunked-only run: only chunk sizes >= 2 may execute.
+        let cfg = OmissionConfig {
+            max_passes: 0,
+            chunked: true,
+            ..OmissionConfig::default()
+        };
+        let (short, stats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
+        assert!(stats.sweeps <= chunk_schedule(seq.len(), cfg).len());
+        assert!(short.len() <= seq.len());
+        let mut fsim = SeqFaultSim::new(&nl);
+        let det = fsim.detect(&init, &short, &targets, &u, true);
+        assert!(det.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn oversized_chunks_are_clamped_to_feasible_attempts() {
+        // A schedule entry larger than the live sequence is clamped so the
+        // sweep still tries feasible removals instead of spending its
+        // profile attempt on a sweep that cannot remove anything.
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        let cfg = OmissionConfig::default();
+        let mut stats = OmissionStats::default();
+        let out = omit_serial(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            cfg,
+            &[seq.len() + 5],
+            &mut stats,
+        );
+        assert_eq!(stats.sweeps, 1);
+        assert!(
+            stats.attempts >= 2,
+            "a clamped sweep must attempt at least one feasible omission, got {stats:?}"
+        );
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn every_sweep_attempts_at_least_one_feasible_omission() {
+        // With the per-sweep clamp, each sweep's first position (t =
+        // len - chunk) is always feasible, so an unexhausted budget implies
+        // attempts >= 2 * sweeps (profile + at least one omission try).
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        let (_, stats) = omit_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            OmissionConfig::default(),
+        );
+        assert!(stats.sweeps >= 1);
+        assert!(
+            stats.attempts >= 2 * stats.sweeps,
+            "sweep ran without a feasible attempt: {stats:?}"
+        );
+        assert_eq!(
+            stats.removed,
+            seq.len() - /* final len */ {
+            let (short, _) = omit_vectors(
+                &nl,
+                &u,
+                &init,
+                &seq,
+                &targets,
+                true,
+                OmissionConfig::default(),
+            );
+            short.len()
+        }
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_padded_sequence() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        let (serial, sstats) = omit_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            OmissionConfig::default(),
+        );
+        for threads in [2, 4] {
+            let cfg = OmissionConfig {
+                sim: SimConfig::with_threads(threads),
+                ..OmissionConfig::default()
+            };
+            let (par, pstats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(pstats.attempts, sstats.attempts, "threads={threads}");
+            assert_eq!(pstats.removed, sstats.removed, "threads={threads}");
+            assert_eq!(pstats.accepted, sstats.accepted, "threads={threads}");
+            assert_eq!(pstats.sweeps, sstats.sweeps, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_under_budget_exhaustion() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        for budget in [1, 2, 3, 5, 8] {
+            let serial_cfg = OmissionConfig {
+                attempt_budget: budget,
+                ..OmissionConfig::default()
+            };
+            let (serial, sstats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, serial_cfg);
+            let par_cfg = OmissionConfig {
+                attempt_budget: budget,
+                sim: SimConfig::with_threads(3),
+                ..OmissionConfig::default()
+            };
+            let (par, pstats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, par_cfg);
+            assert_eq!(par, serial, "budget={budget}");
+            assert_eq!(pstats.attempts, sstats.attempts, "budget={budget}");
+            assert!(pstats.attempts <= budget);
+        }
     }
 }

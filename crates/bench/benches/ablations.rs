@@ -48,7 +48,7 @@ fn bench_omission_styles(c: &mut Criterion) {
                 let cfg = OmissionConfig {
                     chunked,
                     max_passes: 1,
-                    attempt_budget: usize::MAX,
+                    ..OmissionConfig::default()
                 };
                 let (seq, stats) = omit_vectors(&nl, &u, &init, &t0, &detected, true, cfg);
                 black_box((seq.len(), stats.attempts))

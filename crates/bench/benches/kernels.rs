@@ -16,9 +16,12 @@
 //! All three kernels compute identical values (the differential tests in
 //! `atspeed-sim` prove it); only the traversal strategy differs.
 
+use atspeed_atpg::compact::{omit_vectors, OmissionConfig};
+use atspeed_atpg::random_t0;
 use atspeed_circuit::catalog::{self, BenchmarkInfo, Suite};
 use atspeed_circuit::{NetId, Netlist};
-use atspeed_sim::{stats, CombSim, CompiledSim, SimScratch, W3};
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{stats, CombSim, CompiledSim, SeqFaultSim, SimConfig, SimScratch, V3, W3};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
@@ -189,7 +192,89 @@ fn measure_circuit(info: &BenchmarkInfo, num_rounds: usize, repeats: usize) -> V
     rows
 }
 
-fn emit_json(circuits: &[(BenchmarkInfo, Vec<KernelRow>)], rounds: usize, repeats: usize) {
+/// One measured Phase-2 omission run at a given thread count.
+struct OmissionRow {
+    threads: usize,
+    wall_s: f64,
+    attempts: usize,
+    removed: usize,
+    wasted: usize,
+}
+
+/// The vector-omission workload: a random sequence over a catalog circuit
+/// plus the faults it detects (the set every omission must preserve).
+struct OmissionWorkload {
+    nl: Netlist,
+    init: Vec<V3>,
+    seq: atspeed_sim::Sequence,
+    targets: Vec<FaultId>,
+    universe: FaultUniverse,
+}
+
+fn make_omission_workload(info: &BenchmarkInfo, seq_len: usize) -> OmissionWorkload {
+    let nl = info.instantiate();
+    let universe = FaultUniverse::full(&nl);
+    let seq = random_t0(&nl, seq_len, 0xA75);
+    let init = vec![V3::Zero; nl.num_ffs()];
+    let mut fsim = SeqFaultSim::new(&nl);
+    let reps: Vec<FaultId> = universe.representatives().to_vec();
+    let det = fsim.detect(&init, &seq, &reps, &universe, true);
+    let targets = reps
+        .iter()
+        .zip(det.iter())
+        .filter(|(_, &d)| d)
+        .map(|(&f, _)| f)
+        .collect();
+    OmissionWorkload {
+        nl,
+        init,
+        seq,
+        targets,
+        universe,
+    }
+}
+
+fn run_omission(w: &OmissionWorkload, threads: usize) -> (usize, usize, usize) {
+    let cfg = OmissionConfig {
+        sim: SimConfig::with_threads(threads),
+        ..OmissionConfig::default()
+    };
+    let (short, stats) = omit_vectors(&w.nl, &w.universe, &w.init, &w.seq, &w.targets, true, cfg);
+    black_box(short.len());
+    (stats.attempts, stats.removed, stats.wasted)
+}
+
+fn measure_omission(w: &OmissionWorkload, repeats: usize) -> Vec<OmissionRow> {
+    [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let start = Instant::now();
+            let mut attempts = 0;
+            let mut removed = 0;
+            let mut wasted = 0;
+            for _ in 0..repeats {
+                let (a, r, wst) = run_omission(w, threads);
+                attempts += a;
+                removed += r;
+                wasted += wst;
+            }
+            OmissionRow {
+                threads,
+                wall_s: start.elapsed().as_secs_f64(),
+                attempts,
+                removed,
+                wasted,
+            }
+        })
+        .collect()
+}
+
+fn emit_json(
+    circuits: &[(BenchmarkInfo, Vec<KernelRow>)],
+    rounds: usize,
+    repeats: usize,
+    omission: &(BenchmarkInfo, usize, Vec<OmissionRow>),
+) {
     let path = std::env::var("KERNELS_JSON").unwrap_or_else(|_| {
         // Default into the workspace target dir, independent of the cwd
         // cargo runs the bench from.
@@ -224,7 +309,31 @@ fn emit_json(circuits: &[(BenchmarkInfo, Vec<KernelRow>)], rounds: usize, repeat
             if i + 1 == circuits.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let (info, seq_len, rows) = omission;
+    out.push_str(&format!(
+        "  \"omission\": {{\"circuit\": \"{}\", \"seq_len\": {}, \"runs\": [\n",
+        info.name, seq_len
+    ));
+    for (j, r) in rows.iter().enumerate() {
+        let attempts_per_sec = if r.wall_s > 0.0 {
+            r.attempts as f64 / r.wall_s
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_us\": {}, \"attempts\": {}, \"removed\": {}, \
+             \"wasted\": {}, \"attempts_per_sec\": {:.1}}}{}\n",
+            r.threads,
+            (r.wall_s * 1e6) as u64,
+            r.attempts,
+            r.removed,
+            r.wasted,
+            attempts_per_sec,
+            if j + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]}\n}\n");
     if let Some(dir) = std::path::Path::new(&path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -260,7 +369,24 @@ fn bench_kernels(c: &mut Criterion) {
 
         summary.push((info, measure_circuit(&info, rounds, repeats)));
     }
-    emit_json(&summary, rounds, repeats);
+
+    // Phase-2 omission throughput: serial vs speculative-parallel sweeps on
+    // a fixed catalog circuit (results are identical at every thread count;
+    // only wall time and speculation waste differ).
+    let om_info = catalog::by_name("s298").expect("s298 is in the catalog");
+    let (om_len, om_repeats) = if bench_mode() { (48, 3) } else { (12, 1) };
+    let ow = make_omission_workload(&om_info, om_len);
+    let mut g = c.benchmark_group("omission_s298");
+    g.sample_size(samples);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("t{threads}").as_str(), |b| {
+            b.iter(|| run_omission(&ow, threads))
+        });
+    }
+    g.finish();
+    let om_rows = measure_omission(&ow, om_repeats);
+
+    emit_json(&summary, rounds, repeats, &(om_info, om_len, om_rows));
 }
 
 criterion_group!(kernels, bench_kernels);

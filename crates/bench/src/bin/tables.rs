@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel]
-//!        [--csv FILE] [--sim-json FILE]
+//!        [--sim-threads N] [--csv FILE] [--sim-json FILE]
 //!        [--trace FILE] [--metrics-json FILE] [--log LEVEL]
 //! ```
 //!
@@ -23,22 +23,26 @@
 //! (conventionally `BENCH_<tag>.json`). Phase attribution is exact under
 //! `--no-parallel`; with the parallel circuit runner, concurrently running
 //! circuits share the phase labels, so per-phase rows are approximate while
-//! totals remain exact. `SIM_THREADS` sets the fault-simulation thread
-//! count inside each pipeline (unset or 1 = serial, 0 = all cores).
+//! totals remain exact. `--sim-threads N` (or the `SIM_THREADS` environment
+//! variable when the flag is absent) sets the fault-simulation thread count
+//! inside each pipeline, speculative vector omission included (unset or
+//! 1 = serial, 0 = all cores); results are identical at any thread count.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use atspeed_bench::runner::{run_circuit, run_circuits, Effort};
+use atspeed_bench::runner::{run_circuit_with, run_circuits_with, Effort};
 use atspeed_bench::tables::render_table;
 use atspeed_bench::telemetry::TelemetryArgs;
 use atspeed_circuit::catalog;
+use atspeed_sim::SimConfig;
 
 struct Args {
     table: Option<usize>,
     circuits: Option<Vec<String>>,
     quick: bool,
     parallel: bool,
+    sim_threads: Option<usize>,
     csv: Option<String>,
     sim_json: Option<String>,
     telemetry: TelemetryArgs,
@@ -50,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         circuits: None,
         quick: false,
         parallel: true,
+        sim_threads: None,
         csv: None,
         sim_json: None,
         telemetry: TelemetryArgs::default(),
@@ -80,11 +85,15 @@ fn parse_args() -> Result<Args, String> {
                 args.sim_json = Some(it.next().ok_or("--sim-json needs a path")?);
             }
             "--no-parallel" => args.parallel = false,
+            "--sim-threads" => {
+                let v = it.next().ok_or("--sim-threads needs a count")?;
+                args.sim_threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel] \
-                     [--csv FILE] [--sim-json FILE] [--trace FILE] [--metrics-json FILE] \
-                     [--log LEVEL]"
+                     [--sim-threads N] [--csv FILE] [--sim-json FILE] [--trace FILE] \
+                     [--metrics-json FILE] [--log LEVEL]"
                         .to_owned(),
                 )
             }
@@ -94,8 +103,11 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn sim_threads() -> String {
-    std::env::var("SIM_THREADS").unwrap_or_else(|_| "1".to_owned())
+fn sim_config(args: &Args) -> SimConfig {
+    match args.sim_threads {
+        Some(n) => SimConfig::with_threads(n),
+        None => SimConfig::from_env(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -130,17 +142,21 @@ fn main() -> ExitCode {
 
     args.telemetry.init();
     atspeed_sim::stats::reset();
+    let sim = sim_config(&args);
     let start = Instant::now();
     atspeed_trace::info!("bench.tables", "starting experiments";
         circuits = infos.len(),
         effort = if args.quick { "quick" } else { "full" },
         mode = if args.parallel { "parallel" } else { "serial" },
-        sim_threads = sim_threads(),
+        sim_threads = sim.threads,
     );
     let exps = if args.parallel {
-        run_circuits(&infos, effort)
+        run_circuits_with(&infos, effort, sim)
     } else {
-        infos.iter().map(|i| run_circuit(i, effort)).collect()
+        infos
+            .iter()
+            .map(|i| run_circuit_with(i, effort, sim))
+            .collect()
     };
     atspeed_trace::info!("bench.tables", "experiments done";
         wall_ms = start.elapsed().as_millis(),
@@ -156,8 +172,8 @@ fn main() -> ExitCode {
     }
     let report = atspeed_sim::stats::report();
     println!(
-        "Simulation instrumentation (SIM_THREADS={}):",
-        sim_threads()
+        "Simulation instrumentation (sim threads = {}):",
+        sim.threads
     );
     println!("{report}");
     if let Some(path) = args.sim_json {

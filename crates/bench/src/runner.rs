@@ -14,6 +14,7 @@ use atspeed_core::dynamic::{dynamic_schedule, DynamicConfig, DynamicResult};
 use atspeed_core::phase4::baseline4;
 use atspeed_core::{Pipeline, PipelineResult, T0Source, TestSet};
 use atspeed_sim::fault::FaultUniverse;
+use atspeed_sim::SimConfig;
 
 /// Effort profile for an experiment sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,8 +66,16 @@ fn t0_source_for(info: &BenchmarkInfo, effort: Effort) -> T0Source {
     }
 }
 
-/// Runs every experiment for one circuit.
+/// Runs every experiment for one circuit with the threading configuration
+/// from the environment (`SIM_THREADS`, serial when unset).
 pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
+    run_circuit_with(info, effort, SimConfig::from_env())
+}
+
+/// Runs every experiment for one circuit with an explicit threading
+/// configuration (every stage, Phase 2's speculative omission included,
+/// produces identical results at any thread count).
+pub fn run_circuit_with(info: &BenchmarkInfo, effort: Effort, sim: SimConfig) -> CircuitExperiment {
     let _sp = atspeed_trace::span_args("circuit", &[("name", &info.name)]);
     let started = std::time::Instant::now();
     let nl: Netlist = info.instantiate();
@@ -76,6 +85,7 @@ pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
     let proposed = Pipeline::new(&nl)
         .t0_source(t0_source_for(info, effort))
         .seed(TABLE_SEED)
+        .sim_config(sim)
         .run()
         .expect("pipeline runs on catalog circuits");
 
@@ -94,6 +104,7 @@ pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
         Pipeline::new(&nl)
             .t0_source(T0Source::Random { len: rand_len })
             .seed(TABLE_SEED)
+            .sim_config(sim)
             .with_comb_tests(comb.clone())
             .run()
             .expect("random-T0 pipeline runs")
@@ -133,6 +144,16 @@ pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
 /// pulls circuits from a shared queue, so long-running circuits never
 /// serialize behind a batch barrier. Output order matches `infos`.
 pub fn run_circuits(infos: &[BenchmarkInfo], effort: Effort) -> Vec<CircuitExperiment> {
+    run_circuits_with(infos, effort, SimConfig::from_env())
+}
+
+/// [`run_circuits`] with an explicit threading configuration passed to
+/// every per-circuit pipeline.
+pub fn run_circuits_with(
+    infos: &[BenchmarkInfo],
+    effort: Effort,
+    sim: SimConfig,
+) -> Vec<CircuitExperiment> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -150,7 +171,7 @@ pub fn run_circuits(infos: &[BenchmarkInfo], effort: Effort) -> Vec<CircuitExper
                 if i >= infos.len() {
                     break;
                 }
-                let exp = run_circuit(&infos[i], effort);
+                let exp = run_circuit_with(&infos[i], effort, sim);
                 out.lock().expect("runner mutex poisoned")[i] = Some(exp);
             });
         }

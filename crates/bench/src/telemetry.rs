@@ -90,11 +90,24 @@ impl TelemetryArgs {
 /// The global metrics registry as JSON, extended with a `derived` object
 /// holding the headline figures benchmark CI compares across runs.
 pub fn metrics_json_with_derived(report: &SimReport) -> String {
-    let base = atspeed_trace::metrics::global().snapshot().to_json();
+    let snapshot = atspeed_trace::metrics::global().snapshot();
+    let base = snapshot.to_json();
     let t = report.totals();
+    // Phase-2 vector-omission throughput, from the counters the omission
+    // engine maintains (zero when the run never reached Phase 2).
+    let om_attempts = snapshot.counter("omission/attempts").unwrap_or(0);
+    let om_wall_us = snapshot.counter("omission/wall_us").unwrap_or(0);
+    let om_rate = if om_wall_us > 0 {
+        om_attempts as f64 / (om_wall_us as f64 / 1e6)
+    } else {
+        0.0
+    };
     let derived = format!(
         "\"derived\":{{\"gate_evals_total\":{},\"wall_us_total\":{},\
-         \"gate_evals_per_sec\":{:.1},\"partition_imbalance\":{:.3}}}",
+         \"gate_evals_per_sec\":{:.1},\"partition_imbalance\":{:.3},\
+         \"omission_attempts_total\":{om_attempts},\
+         \"omission_wall_us\":{om_wall_us},\
+         \"omission_attempts_per_sec\":{om_rate:.1}}}",
         t.gate_evals,
         t.wall.as_micros(),
         if t.wall.as_secs_f64() > 0.0 {
@@ -150,6 +163,7 @@ mod tests {
         assert!(json.contains("\"derived\""));
         assert!(json.contains("\"gate_evals_total\":1000"));
         assert!(json.contains("\"gate_evals_per_sec\":100000.0"));
+        assert!(json.contains("\"omission_attempts_per_sec\""));
         // Balanced braces — cheap structural sanity check.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

@@ -16,6 +16,14 @@ pub enum CoreError {
     /// The combinational test set `C` is empty, leaving Phase 1 with no
     /// scan-in candidates.
     NoScanInCandidates,
+    /// The `selected` marks passed to Phase 1 cover fewer entries than the
+    /// candidate list.
+    SelectedMarksTooShort {
+        /// Number of `selected` marks provided.
+        marks: usize,
+        /// Number of scan-in candidates.
+        candidates: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +34,10 @@ impl fmt::Display for CoreError {
             CoreError::NoScanInCandidates => {
                 write!(f, "no scan-in candidates: combinational test set is empty")
             }
+            CoreError::SelectedMarksTooShort { marks, candidates } => write!(
+                f,
+                "selected marks cover {marks} entries but there are {candidates} candidates"
+            ),
         }
     }
 }

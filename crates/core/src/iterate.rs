@@ -13,6 +13,7 @@ use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
 use atspeed_sim::{CombTest, ParallelFsim, Sequence, V3};
 
+use crate::error::CoreError;
 use crate::phase1::{select_scan_test, Phase1Config};
 use crate::phase2::{compact_test, OmissionConfig};
 use crate::test::ScanTest;
@@ -46,6 +47,7 @@ impl Default for IterateConfig {
                 max_passes: 1,
                 chunked: true,
                 attempt_budget: 160,
+                sim: Default::default(),
             },
             max_iterations: Some(4),
         }
@@ -72,7 +74,12 @@ pub struct TauSeqResult {
 /// Runs Phases 1–2 iteratively and returns `τ_seq`.
 ///
 /// `targets` is the full target fault set `F` (collapsed representatives).
-/// Returns `None` when `candidates` is empty or `t0` is empty.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyT0`] when `t0` is empty and
+/// [`CoreError::NoScanInCandidates`] when `candidates` is empty;
+/// Phase 1 errors from [`select_scan_test`] propagate unchanged.
 pub fn build_tau_seq(
     nl: &Netlist,
     universe: &FaultUniverse,
@@ -80,9 +87,12 @@ pub fn build_tau_seq(
     candidates: &[CombTest],
     targets: &[FaultId],
     cfg: IterateConfig,
-) -> Option<TauSeqResult> {
-    if t0.is_empty() || candidates.is_empty() {
-        return None;
+) -> Result<TauSeqResult, CoreError> {
+    if t0.is_empty() {
+        return Err(CoreError::EmptyT0);
+    }
+    if candidates.is_empty() {
+        return Err(CoreError::NoScanInCandidates);
     }
     let fsim = ParallelFsim::new(nl, cfg.phase1.sim);
     let init_x = vec![V3::X; nl.num_ffs()];
@@ -94,7 +104,8 @@ pub fn build_tau_seq(
     let max_iter = cfg
         .max_iterations
         .unwrap_or(candidates.len())
-        .min(candidates.len());
+        .min(candidates.len())
+        .max(1);
 
     while iterations < max_iter {
         iterations += 1;
@@ -158,7 +169,7 @@ pub fn build_tau_seq(
         }
     }
 
-    let test = best?;
+    let test = best.expect("max_iter >= 1, so at least one iteration set `best`");
     let det = test.detects(nl, universe, targets);
     let detected: Vec<FaultId> = targets
         .iter()
@@ -166,7 +177,7 @@ pub fn build_tau_seq(
         .filter(|(_, &d)| d)
         .map(|(&f, _)| f)
         .collect();
-    Some(TauSeqResult {
+    Ok(TauSeqResult {
         test,
         detected,
         f0: original_f0.unwrap_or_default(),
@@ -245,19 +256,25 @@ mod tests {
     }
 
     #[test]
-    fn empty_inputs_yield_none() {
+    fn empty_inputs_yield_errors() {
         let (nl, u, t0, c) = setup();
         let targets: Vec<FaultId> = u.representatives().to_vec();
-        assert!(build_tau_seq(
-            &nl,
-            &u,
-            &Sequence::new(),
-            &c,
-            &targets,
-            IterateConfig::default()
-        )
-        .is_none());
-        assert!(build_tau_seq(&nl, &u, &t0, &[], &targets, IterateConfig::default()).is_none());
+        assert_eq!(
+            build_tau_seq(
+                &nl,
+                &u,
+                &Sequence::new(),
+                &c,
+                &targets,
+                IterateConfig::default()
+            )
+            .unwrap_err(),
+            CoreError::EmptyT0
+        );
+        assert_eq!(
+            build_tau_seq(&nl, &u, &t0, &[], &targets, IterateConfig::default()).unwrap_err(),
+            CoreError::NoScanInCandidates
+        );
     }
 
     #[test]

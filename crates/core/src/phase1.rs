@@ -19,6 +19,7 @@ use atspeed_circuit::Netlist;
 use atspeed_sim::fault::{FaultId, FaultUniverse};
 use atspeed_sim::{stats, CombTest, ParallelFsim, SeqFaultSim, Sequence, SimConfig, State};
 
+use crate::error::CoreError;
 use crate::test::ScanTest;
 
 /// How the scan-out time unit is selected in Step 3 (the paper's `i₀`
@@ -80,11 +81,13 @@ pub struct Phase1Result {
 /// (the faults simulated per candidate); `selected` marks candidates chosen
 /// in earlier iterations.
 ///
-/// Returns `None` when `candidates` is empty.
+/// # Errors
 ///
-/// # Panics
-///
-/// Panics if `t0` is empty or `selected` is shorter than the candidates.
+/// Returns [`CoreError::EmptyT0`] when `t0` is empty,
+/// [`CoreError::SelectedMarksTooShort`] when `selected` covers fewer
+/// entries than `candidates`, and [`CoreError::NoScanInCandidates`] when
+/// there are no candidates to pick from — malformed inputs surface as
+/// errors instead of aborting a long pipeline run.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Phase 1 inputs
 pub fn select_scan_test(
     nl: &Netlist,
@@ -95,11 +98,18 @@ pub fn select_scan_test(
     rest: &[FaultId],
     selected: &[bool],
     cfg: Phase1Config,
-) -> Option<Phase1Result> {
-    assert!(!t0.is_empty(), "T0 must be non-empty");
-    assert!(selected.len() >= candidates.len());
+) -> Result<Phase1Result, CoreError> {
+    if t0.is_empty() {
+        return Err(CoreError::EmptyT0);
+    }
+    if selected.len() < candidates.len() {
+        return Err(CoreError::SelectedMarksTooShort {
+            marks: selected.len(),
+            candidates: candidates.len(),
+        });
+    }
     if candidates.is_empty() {
-        return None;
+        return Err(CoreError::NoScanInCandidates);
     }
     let limit = cfg.max_candidates.unwrap_or(candidates.len());
 
@@ -137,7 +147,7 @@ pub fn select_scan_test(
         }
         (Some((ju, _)), None) => (ju, false),
         (None, Some((js, _))) => (js, true),
-        (None, None) => return None,
+        (None, None) => return Err(CoreError::NoScanInCandidates),
     };
 
     let fsim = ParallelFsim::new(nl, cfg.sim);
@@ -205,7 +215,7 @@ pub fn select_scan_test(
     keyed.sort_unstable();
     let f_so: Vec<FaultId> = keyed.into_iter().map(|(_, f)| f).collect();
 
-    Some(Phase1Result {
+    Ok(Phase1Result {
         si_index,
         reused_selected,
         test: ScanTest::new(si, t0.prefix(u_so)),
@@ -461,11 +471,52 @@ mod tests {
     }
 
     #[test]
-    fn empty_candidates_return_none() {
+    fn empty_candidates_are_an_error() {
         let (nl, u, t0, _) = setup();
         let (f0, rest) = split_f0(&nl, &u, &t0);
-        assert!(
-            select_scan_test(&nl, &u, &t0, &[], &f0, &rest, &[], Phase1Config::default()).is_none()
+        assert_eq!(
+            select_scan_test(&nl, &u, &t0, &[], &f0, &rest, &[], Phase1Config::default())
+                .unwrap_err(),
+            CoreError::NoScanInCandidates
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        let (nl, u, t0, candidates) = setup();
+        let (f0, rest) = split_f0(&nl, &u, &t0);
+        let empty_t0 = Sequence::default();
+        assert_eq!(
+            select_scan_test(
+                &nl,
+                &u,
+                &empty_t0,
+                &candidates,
+                &f0,
+                &rest,
+                &vec![false; candidates.len()],
+                Phase1Config::default(),
+            )
+            .unwrap_err(),
+            CoreError::EmptyT0
+        );
+        let short_marks = vec![false; candidates.len() - 1];
+        assert_eq!(
+            select_scan_test(
+                &nl,
+                &u,
+                &t0,
+                &candidates,
+                &f0,
+                &rest,
+                &short_marks,
+                Phase1Config::default(),
+            )
+            .unwrap_err(),
+            CoreError::SelectedMarksTooShort {
+                marks: candidates.len() - 1,
+                candidates: candidates.len(),
+            }
         );
     }
 

@@ -195,8 +195,8 @@ impl<'a> Pipeline<'a> {
         let sp = atspeed_trace::span("pipeline.phase1-2");
         let mut iterate_cfg = self.iterate_cfg;
         iterate_cfg.phase1.sim = self.sim;
-        let tau = build_tau_seq(nl, &universe, &t0, &comb_tests, &targets, iterate_cfg)
-            .ok_or(CoreError::NoScanInCandidates)?;
+        iterate_cfg.omission.sim = self.sim;
+        let tau = build_tau_seq(nl, &universe, &t0, &comb_tests, &targets, iterate_cfg)?;
 
         // Phase 3: top up to complete coverage.
         drop(sp);

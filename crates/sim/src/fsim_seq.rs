@@ -224,42 +224,7 @@ impl<'a> SeqFaultSim<'a> {
         let mut detected = vec![false; faults.len()];
         for (chunk_idx, chunk) in faults.chunks(FAULTS_PER_PASS).enumerate() {
             let base = chunk_idx * FAULTS_PER_PASS;
-            let active: u64 = if chunk.len() == FAULTS_PER_PASS {
-                !1u64
-            } else {
-                ((1u64 << chunk.len()) - 1) << 1
-            };
-            self.ov.clear();
-            for (k, &fid) in chunk.iter().enumerate() {
-                self.ov.add(universe.fault(fid), 1u64 << (k + 1));
-            }
-            let mut caught = 0u64;
-            let mut state: Vec<W3> = init.iter().map(|&v| W3::broadcast(v)).collect();
-            let sim = CompiledSim::new(self.cc);
-            for t in 0..seq.len() {
-                self.seed_inputs(seq, t, &state);
-                if t == 0 {
-                    sim.eval_with(&mut self.scratch, &self.ov);
-                } else {
-                    sim.eval_delta_with(&mut self.scratch, &self.ov);
-                }
-                caught |= self.po_diff_mask() & active;
-                self.capture(&mut state);
-                if t + 1 == seq.len() {
-                    match observe {
-                        FinalObserve::None => {}
-                        FinalObserve::FullState => {
-                            caught |= state_diff_mask(&state) & active;
-                        }
-                        FinalObserve::PartialState(mask) => {
-                            caught |= masked_state_diff(&state, mask) & active;
-                        }
-                    }
-                }
-                if caught == active {
-                    break;
-                }
-            }
+            let caught = self.simulate_chunk(init, seq, chunk, universe, observe);
             for (k, _) in chunk.iter().enumerate() {
                 if caught & (1u64 << (k + 1)) != 0 {
                     detected[base + k] = true;
@@ -267,6 +232,80 @@ impl<'a> SeqFaultSim<'a> {
             }
         }
         detected
+    }
+
+    /// Whether `seq` detects *every* fault in `faults` — equivalent to
+    /// `detect(..).iter().all(|&d| d)` but exits on the first 63-fault
+    /// chunk that finishes with an undetected member, skipping the
+    /// remaining chunks entirely. This is the accept/reject predicate of
+    /// vector omission, where most rejections lose a fault early.
+    pub fn detects_all(
+        &mut self,
+        init: &State,
+        seq: &Sequence,
+        faults: &[FaultId],
+        universe: &FaultUniverse,
+        observe_final_state: bool,
+    ) -> bool {
+        crate::stats::add_invocation();
+        let observe = if observe_final_state {
+            FinalObserve::FullState
+        } else {
+            FinalObserve::None
+        };
+        for chunk in faults.chunks(FAULTS_PER_PASS) {
+            let caught = self.simulate_chunk(init, seq, chunk, universe, observe);
+            if caught != active_mask(chunk.len()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Simulates one chunk of up to [`FAULTS_PER_PASS`] faults over `seq`
+    /// and returns the caught-slot mask (bit `k+1` set ⇒ `chunk[k]`
+    /// detected). Exits early once every active slot is caught.
+    fn simulate_chunk(
+        &mut self,
+        init: &State,
+        seq: &Sequence,
+        chunk: &[FaultId],
+        universe: &FaultUniverse,
+        observe: FinalObserve<'_>,
+    ) -> u64 {
+        let active = active_mask(chunk.len());
+        self.ov.clear();
+        for (k, &fid) in chunk.iter().enumerate() {
+            self.ov.add(universe.fault(fid), 1u64 << (k + 1));
+        }
+        let mut caught = 0u64;
+        let mut state: Vec<W3> = init.iter().map(|&v| W3::broadcast(v)).collect();
+        let sim = CompiledSim::new(self.cc);
+        for t in 0..seq.len() {
+            self.seed_inputs(seq, t, &state);
+            if t == 0 {
+                sim.eval_with(&mut self.scratch, &self.ov);
+            } else {
+                sim.eval_delta_with(&mut self.scratch, &self.ov);
+            }
+            caught |= self.po_diff_mask() & active;
+            self.capture(&mut state);
+            if t + 1 == seq.len() {
+                match observe {
+                    FinalObserve::None => {}
+                    FinalObserve::FullState => {
+                        caught |= state_diff_mask(&state) & active;
+                    }
+                    FinalObserve::PartialState(mask) => {
+                        caught |= masked_state_diff(&state, mask) & active;
+                    }
+                }
+            }
+            if caught == active {
+                break;
+            }
+        }
+        caught
     }
 
     /// Fault-simulates `seq` from `init` and returns the full detection
@@ -287,11 +326,7 @@ impl<'a> SeqFaultSim<'a> {
         let mut profiles = vec![DetectionProfile::default(); faults.len()];
         for (chunk_idx, chunk) in faults.chunks(FAULTS_PER_PASS).enumerate() {
             let base = chunk_idx * FAULTS_PER_PASS;
-            let active: u64 = if chunk.len() == FAULTS_PER_PASS {
-                !1u64
-            } else {
-                ((1u64 << chunk.len()) - 1) << 1
-            };
+            let active = active_mask(chunk.len());
             self.ov.clear();
             for (k, &fid) in chunk.iter().enumerate() {
                 self.ov.add(universe.fault(fid), 1u64 << (k + 1));
@@ -366,6 +401,14 @@ impl<'a> SeqFaultSim<'a> {
             state[f] = w;
         }
     }
+}
+
+/// Active-slot mask for a chunk of `len` faulty machines (slots 1..=len;
+/// slot 0 is the good machine).
+#[inline]
+fn active_mask(len: usize) -> u64 {
+    debug_assert!((1..=FAULTS_PER_PASS).contains(&len));
+    ((1u64 << len) - 1) << 1
 }
 
 /// Mask of slots whose state differs observably from slot 0 (good state
@@ -595,6 +638,36 @@ mod tests {
                 u.fault(reps[k]).describe(&nl)
             );
         }
+    }
+
+    #[test]
+    fn detects_all_matches_detect() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        let init: State = parse_values("010");
+        for (rows, observe) in [
+            (vec!["1010", "0110", "0001", "1111"], true),
+            (vec!["1010", "0110"], false),
+            (vec!["0000"], true),
+        ] {
+            let seq = seq_of(&rows);
+            // Full set (mixed verdicts) and the detected subset (all true).
+            let det = fsim.detect(&init, &seq, &reps, &u, observe);
+            let all = det.iter().all(|&d| d);
+            assert_eq!(fsim.detects_all(&init, &seq, &reps, &u, observe), all);
+            let detected: Vec<FaultId> = reps
+                .iter()
+                .zip(det.iter())
+                .filter(|(_, &d)| d)
+                .map(|(&f, _)| f)
+                .collect();
+            if !detected.is_empty() {
+                assert!(fsim.detects_all(&init, &seq, &detected, &u, observe));
+            }
+        }
+        assert!(fsim.detects_all(&init, &seq_of(&["0000"]), &[], &u, true));
     }
 
     #[test]

@@ -6,11 +6,13 @@ Usage:
     check_metrics_baseline.py CURRENT.json BASELINE.json [--max-regression 0.25]
 
 Validates that CURRENT.json is well-formed telemetry output (top-level
-`counters`, `gauges`, `histograms`, `derived` objects) and fails when the
-headline `derived.gate_evals_per_sec` figure regressed by more than
-`--max-regression` (default 25%) relative to the baseline. Improvements
-never fail; print-only fields (wall time, imbalance) are reported for
-context but not gated, since they vary with machine load.
+`counters`, `gauges`, `histograms`, `derived` objects) and fails when a
+gated headline figure (`derived.gate_evals_per_sec`, and
+`derived.omission_attempts_per_sec` when the baseline records it)
+regressed by more than `--max-regression` (default 25%) relative to the
+baseline. Improvements never fail; print-only fields (wall time,
+imbalance) are reported for context but not gated, since they vary with
+machine load.
 """
 
 import argparse
@@ -40,27 +42,38 @@ def main():
         if key not in current or not isinstance(current[key], dict):
             sys.exit(f"error: {args.current} is missing the `{key}` object")
 
-    cur = current["derived"].get("gate_evals_per_sec")
-    base = baseline["derived"].get("gate_evals_per_sec")
-    if not isinstance(cur, (int, float)) or cur <= 0:
-        sys.exit(f"error: bad current gate_evals_per_sec: {cur!r}")
-    if not isinstance(base, (int, float)) or base <= 0:
-        sys.exit(f"error: bad baseline gate_evals_per_sec: {base!r}")
+    # gate_evals_per_sec is always gated; omission_attempts_per_sec only
+    # once the baseline records it (older baselines predate the metric).
+    gated = ["gate_evals_per_sec"]
+    if isinstance(baseline["derived"].get("omission_attempts_per_sec"),
+                  (int, float)) and \
+            baseline["derived"]["omission_attempts_per_sec"] > 0:
+        gated.append("omission_attempts_per_sec")
 
-    floor = base * (1.0 - args.max_regression)
-    ratio = cur / base
-    print(f"gate_evals_per_sec: current {cur:.0f}, baseline {base:.0f} "
-          f"(ratio {ratio:.2f}, floor {floor:.0f})")
-    for field in ("gate_evals_total", "wall_us_total", "partition_imbalance"):
+    failures = []
+    for metric in gated:
+        cur = current["derived"].get(metric)
+        base = baseline["derived"].get(metric)
+        if not isinstance(cur, (int, float)) or cur <= 0:
+            sys.exit(f"error: bad current {metric}: {cur!r}")
+        if not isinstance(base, (int, float)) or base <= 0:
+            sys.exit(f"error: bad baseline {metric}: {base!r}")
+        floor = base * (1.0 - args.max_regression)
+        ratio = cur / base
+        print(f"{metric}: current {cur:.0f}, baseline {base:.0f} "
+              f"(ratio {ratio:.2f}, floor {floor:.0f})")
+        if cur < floor:
+            failures.append(f"{metric} regressed more than "
+                            f"{args.max_regression:.0%} (ratio {ratio:.2f})")
+
+    for field in ("gate_evals_total", "wall_us_total", "partition_imbalance",
+                  "omission_attempts_total", "omission_wall_us"):
         c = current["derived"].get(field)
         b = baseline["derived"].get(field)
         print(f"{field}: current {c}, baseline {b}")
 
-    if cur < floor:
-        sys.exit(
-            f"FAIL: gate_evals_per_sec regressed more than "
-            f"{args.max_regression:.0%} (ratio {ratio:.2f})"
-        )
+    if failures:
+        sys.exit("FAIL: " + "; ".join(failures))
     print("OK: throughput within the allowed regression envelope")
 
 
