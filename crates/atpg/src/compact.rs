@@ -152,6 +152,108 @@ pub fn omit_vectors(
     (out, stats)
 }
 
+/// A divergence between the serial omission sweep and the speculative
+/// parallel sweep at some thread count, found by
+/// [`check_omission_differential`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmissionDivergence {
+    /// Thread count whose result disagreed with the serial reference.
+    pub threads: usize,
+    /// What disagreed, human-readable.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OmissionDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "speculative omission at {} threads diverged from serial: {}",
+            self.threads, self.detail
+        )
+    }
+}
+
+impl std::error::Error for OmissionDivergence {}
+
+/// Runs [`omit_vectors`] serially and again at each thread count in
+/// `threads`, holding the speculative engine to its promise: the compacted
+/// sequence and every stat except `wasted` must be bit-for-bit identical to
+/// the serial sweep.
+///
+/// Returns the serial reference result on success. This is the
+/// omission-differential entry point of the `atspeed-verify` fuzzer.
+///
+/// # Errors
+///
+/// Returns the first [`OmissionDivergence`] found.
+#[allow(clippy::too_many_arguments)]
+pub fn check_omission_differential(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    init: &State,
+    seq: &Sequence,
+    targets: &[FaultId],
+    observe_final_state: bool,
+    cfg: OmissionConfig,
+    threads: &[usize],
+) -> Result<(Sequence, OmissionStats), OmissionDivergence> {
+    let mut serial_cfg = cfg;
+    serial_cfg.sim = SimConfig {
+        threads: 1,
+        ..cfg.sim
+    };
+    let (ref_seq, ref_stats) = omit_vectors(
+        nl,
+        universe,
+        init,
+        seq,
+        targets,
+        observe_final_state,
+        serial_cfg,
+    );
+    for &t in threads {
+        if t <= 1 {
+            continue;
+        }
+        let mut par_cfg = cfg;
+        par_cfg.sim = SimConfig {
+            threads: t,
+            ..cfg.sim
+        };
+        let (par_seq, par_stats) = omit_vectors(
+            nl,
+            universe,
+            init,
+            seq,
+            targets,
+            observe_final_state,
+            par_cfg,
+        );
+        if par_seq != ref_seq {
+            return Err(OmissionDivergence {
+                threads: t,
+                detail: format!(
+                    "sequences differ: serial keeps {} vectors, parallel keeps {}",
+                    ref_seq.len(),
+                    par_seq.len()
+                ),
+            });
+        }
+        let normalize = |s: OmissionStats| OmissionStats { wasted: 0, ..s };
+        if normalize(par_stats) != normalize(ref_stats) {
+            return Err(OmissionDivergence {
+                threads: t,
+                detail: format!(
+                    "stats differ (wasted excluded): serial {:?}, parallel {:?}",
+                    normalize(ref_stats),
+                    normalize(par_stats)
+                ),
+            });
+        }
+    }
+    Ok((ref_seq, ref_stats))
+}
+
 /// Sweep schedule: halving chunk sizes down to 2, then `max_passes`
 /// single-vector passes. `max_passes: 0` schedules no single passes.
 fn chunk_schedule(len: usize, cfg: OmissionConfig) -> Vec<usize> {
@@ -683,6 +785,38 @@ mod tests {
             .filter(|(_, &d)| d)
             .map(|(&f, _)| f)
             .collect()
+    }
+
+    #[test]
+    fn omission_differential_serial_vs_speculative() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let (seq, init) = padded_sequence();
+        let targets = detected_targets(&nl, &u, &init, &seq);
+        let (short, stats) = check_omission_differential(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            OmissionConfig::default(),
+            &[2, 3],
+        )
+        .unwrap();
+        assert!(short.len() < seq.len(), "padded sequence must compact");
+        assert_eq!(stats.wasted, 0, "serial reference never wastes work");
+    }
+
+    #[test]
+    fn omission_divergence_displays_thread_count() {
+        let e = OmissionDivergence {
+            threads: 4,
+            detail: "sequences differ".to_owned(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("4 threads"), "{s}");
+        assert!(s.contains("sequences differ"), "{s}");
     }
 
     #[test]

@@ -3,13 +3,16 @@
 //! Usage:
 //!
 //! ```text
-//! tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel]
+//! tables [--table N] [--circuits a,b,c] [--quick] [--verify] [--no-parallel]
 //!        [--sim-threads N] [--csv FILE] [--sim-json FILE]
 //!        [--trace FILE] [--metrics-json FILE] [--log LEVEL]
 //! ```
 //!
 //! Without `--table`, all five tables print. `--circuits` filters by name
 //! (comma-separated); `--quick` uses reduced effort for smoke runs.
+//! `--verify` runs the end-to-end coverage oracle inside every pipeline:
+//! the final test sets are independently re-fault-simulated and the run
+//! exits nonzero if any phase's coverage claim does not hold.
 //!
 //! Telemetry: `--trace FILE` records hierarchical spans for the whole run
 //! and writes Chrome trace-event JSON (open at <https://ui.perfetto.dev>);
@@ -31,7 +34,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use atspeed_bench::runner::{run_circuit_with, run_circuits_with, Effort};
+use atspeed_bench::runner::{try_run_circuit_opts, try_run_circuits_opts, Effort, RunOptions};
 use atspeed_bench::tables::render_table;
 use atspeed_bench::telemetry::TelemetryArgs;
 use atspeed_circuit::catalog;
@@ -42,6 +45,7 @@ struct Args {
     circuits: Option<Vec<String>>,
     quick: bool,
     parallel: bool,
+    verify: bool,
     sim_threads: Option<usize>,
     csv: Option<String>,
     sim_json: Option<String>,
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         circuits: None,
         quick: false,
         parallel: true,
+        verify: false,
         sim_threads: None,
         csv: None,
         sim_json: None,
@@ -78,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
                 args.circuits = Some(v.split(',').map(str::to_owned).collect());
             }
             "--quick" => args.quick = true,
+            "--verify" => args.verify = true,
             "--csv" => {
                 args.csv = Some(it.next().ok_or("--csv needs a path")?);
             }
@@ -91,9 +97,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: tables [--table N] [--circuits a,b,c] [--quick] [--no-parallel] \
-                     [--sim-threads N] [--csv FILE] [--sim-json FILE] [--trace FILE] \
-                     [--metrics-json FILE] [--log LEVEL]"
+                    "usage: tables [--table N] [--circuits a,b,c] [--quick] [--verify] \
+                     [--no-parallel] [--sim-threads N] [--csv FILE] [--sim-json FILE] \
+                     [--trace FILE] [--metrics-json FILE] [--log LEVEL]"
                         .to_owned(),
                 )
             }
@@ -149,14 +155,28 @@ fn main() -> ExitCode {
         effort = if args.quick { "quick" } else { "full" },
         mode = if args.parallel { "parallel" } else { "serial" },
         sim_threads = sim.threads,
+        verify = args.verify,
     );
-    let exps = if args.parallel {
-        run_circuits_with(&infos, effort, sim)
+    let opts = RunOptions {
+        effort,
+        sim,
+        verify: args.verify,
+    };
+    let run = if args.parallel {
+        try_run_circuits_opts(&infos, &opts)
     } else {
         infos
             .iter()
-            .map(|i| run_circuit_with(i, effort, sim))
+            .map(|i| try_run_circuit_opts(i, &opts))
             .collect()
+    };
+    let exps = match run {
+        Ok(exps) => exps,
+        Err(e) => {
+            eprintln!("{e}");
+            atspeed_trace::error!("bench.tables", "experiments failed"; error = e.to_string());
+            return ExitCode::FAILURE;
+        }
     };
     atspeed_trace::info!("bench.tables", "experiments done";
         wall_ms = start.elapsed().as_millis(),

@@ -12,7 +12,7 @@ use atspeed_circuit::catalog::{BenchmarkInfo, Suite};
 use atspeed_circuit::Netlist;
 use atspeed_core::dynamic::{dynamic_schedule, DynamicConfig, DynamicResult};
 use atspeed_core::phase4::baseline4;
-use atspeed_core::{Pipeline, PipelineResult, T0Source, TestSet};
+use atspeed_core::{CoreError, Pipeline, PipelineResult, T0Source, TestSet};
 use atspeed_sim::fault::FaultUniverse;
 use atspeed_sim::SimConfig;
 
@@ -66,6 +66,31 @@ fn t0_source_for(info: &BenchmarkInfo, effort: Effort) -> T0Source {
     }
 }
 
+/// Options for one experiment run beyond the effort profile: threading and
+/// whether each pipeline re-checks its own coverage claims through the
+/// end-to-end oracle (`tables --verify`).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Effort profile.
+    pub effort: Effort,
+    /// Threading configuration for every simulation stage.
+    pub sim: SimConfig,
+    /// Run [`Pipeline::verify`]: independently re-fault-simulate the final
+    /// test sets and fail the run if any phase's coverage claim is inflated.
+    pub verify: bool,
+}
+
+impl RunOptions {
+    /// Options matching the historical `run_circuit_with` behavior.
+    pub fn new(effort: Effort, sim: SimConfig) -> Self {
+        RunOptions {
+            effort,
+            sim,
+            verify: false,
+        }
+    }
+}
+
 /// Runs every experiment for one circuit with the threading configuration
 /// from the environment (`SIM_THREADS`, serial when unset).
 pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
@@ -76,7 +101,19 @@ pub fn run_circuit(info: &BenchmarkInfo, effort: Effort) -> CircuitExperiment {
 /// configuration (every stage, Phase 2's speculative omission included,
 /// produces identical results at any thread count).
 pub fn run_circuit_with(info: &BenchmarkInfo, effort: Effort, sim: SimConfig) -> CircuitExperiment {
+    try_run_circuit_opts(info, &RunOptions::new(effort, sim))
+        .expect("pipeline runs on catalog circuits")
+}
+
+/// [`run_circuit_with`] with full [`RunOptions`], surfacing pipeline errors
+/// — in particular [`CoreError::VerificationFailed`] when the coverage
+/// oracle rejects a claim under `verify`.
+pub fn try_run_circuit_opts(
+    info: &BenchmarkInfo,
+    opts: &RunOptions,
+) -> Result<CircuitExperiment, CoreError> {
     let _sp = atspeed_trace::span_args("circuit", &[("name", &info.name)]);
+    let (effort, sim) = (opts.effort, opts.sim);
     let started = std::time::Instant::now();
     let nl: Netlist = info.instantiate();
     let universe = FaultUniverse::full(&nl);
@@ -86,8 +123,8 @@ pub fn run_circuit_with(info: &BenchmarkInfo, effort: Effort, sim: SimConfig) ->
         .t0_source(t0_source_for(info, effort))
         .seed(TABLE_SEED)
         .sim_config(sim)
-        .run()
-        .expect("pipeline runs on catalog circuits");
+        .verify(opts.verify)
+        .run()?;
 
     // Reuse the same combinational test set C for every flow, as the paper
     // does ("the initial test set compacted in [4] is based on the same
@@ -100,15 +137,19 @@ pub fn run_circuit_with(info: &BenchmarkInfo, effort: Effort, sim: SimConfig) ->
     };
     // The paper reports no random-T0 results for s35932 (its Tables 3-5
     // show "-"); skip it here too.
-    let proposed_rand = (info.name != "s35932").then(|| {
-        Pipeline::new(&nl)
-            .t0_source(T0Source::Random { len: rand_len })
-            .seed(TABLE_SEED)
-            .sim_config(sim)
-            .with_comb_tests(comb.clone())
-            .run()
-            .expect("random-T0 pipeline runs")
-    });
+    let proposed_rand = if info.name != "s35932" {
+        Some(
+            Pipeline::new(&nl)
+                .t0_source(T0Source::Random { len: rand_len })
+                .seed(TABLE_SEED)
+                .sim_config(sim)
+                .verify(opts.verify)
+                .with_comb_tests(comb.clone())
+                .run()?,
+        )
+    } else {
+        None
+    };
 
     atspeed_sim::stats::set_phase("baseline4");
     let b4 = baseline4(&nl, &universe, &comb, &targets);
@@ -128,8 +169,9 @@ pub fn run_circuit_with(info: &BenchmarkInfo, effort: Effort, sim: SimConfig) ->
     atspeed_trace::info!("bench.runner", "circuit done";
         circuit = info.name,
         wall_ms = started.elapsed().as_millis(),
+        verified = opts.verify,
     );
-    CircuitExperiment {
+    Ok(CircuitExperiment {
         info: *info,
         proposed,
         proposed_rand,
@@ -137,7 +179,7 @@ pub fn run_circuit_with(info: &BenchmarkInfo, effort: Effort, sim: SimConfig) ->
         b4_comp_cycles: b4.compacted.clock_cycles(n_sv),
         b4_at_speed: b4.compacted.at_speed_stats(),
         dynamic,
-    }
+    })
 }
 
 /// Runs experiments for several circuits in parallel: a pool of workers
@@ -154,6 +196,18 @@ pub fn run_circuits_with(
     effort: Effort,
     sim: SimConfig,
 ) -> Vec<CircuitExperiment> {
+    try_run_circuits_opts(infos, &RunOptions::new(effort, sim))
+        .expect("pipelines run on catalog circuits")
+}
+
+/// [`run_circuits_with`] with full [`RunOptions`]: the worker pool is
+/// unchanged, but per-circuit errors (oracle rejections under `verify`)
+/// propagate instead of panicking — the first failing circuit in `infos`
+/// order wins.
+pub fn try_run_circuits_opts(
+    infos: &[BenchmarkInfo],
+    opts: &RunOptions,
+) -> Result<Vec<CircuitExperiment>, CoreError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -162,7 +216,7 @@ pub fn run_circuits_with(
         .unwrap_or(4)
         .min(infos.len().max(1));
     let next = AtomicUsize::new(0);
-    let out: Mutex<Vec<Option<CircuitExperiment>>> =
+    let out: Mutex<Vec<Option<Result<CircuitExperiment, CoreError>>>> =
         Mutex::new((0..infos.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..max_threads {
@@ -171,7 +225,7 @@ pub fn run_circuits_with(
                 if i >= infos.len() {
                     break;
                 }
-                let exp = run_circuit_with(&infos[i], effort, sim);
+                let exp = try_run_circuit_opts(&infos[i], opts);
                 out.lock().expect("runner mutex poisoned")[i] = Some(exp);
             });
         }
@@ -219,6 +273,21 @@ mod tests {
             assert!(shape_holds(&e), "{name} failed shape checks: {e:?}");
             assert_eq!(e.info.name, name);
         }
+    }
+
+    #[test]
+    fn verified_run_carries_oracle_reports() {
+        let info = catalog::by_name("b02").unwrap();
+        let opts = RunOptions {
+            verify: true,
+            ..RunOptions::new(Effort::Quick, SimConfig::default())
+        };
+        let e = try_run_circuit_opts(&info, &opts).expect("oracle accepts honest claims");
+        assert!(e.proposed.oracle.is_some());
+        assert!(e.proposed_rand.unwrap().oracle.is_some());
+        // Without `verify` the oracle never runs.
+        let plain = run_circuit(&info, Effort::Quick);
+        assert!(plain.proposed.oracle.is_none());
     }
 
     #[test]

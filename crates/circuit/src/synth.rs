@@ -60,6 +60,57 @@ impl SynthSpec {
             seed,
         }
     }
+
+    /// Whether the spec satisfies the generator's structural constraints
+    /// (`num_pis ≥ 1`, `num_pos ≥ 1`, `num_gates ≥ num_pos + num_ffs`).
+    pub fn is_valid(&self) -> bool {
+        self.num_pis >= 1 && self.num_pos >= 1 && self.num_gates >= self.num_pos + self.num_ffs
+    }
+
+    /// Strictly smaller valid variants of this spec, most aggressive first
+    /// — halvings before single decrements, gates before flip-flops before
+    /// interface pins.
+    ///
+    /// This is the shrinking hook for differential-test minimizers:
+    /// [`generate`] is deterministic in the spec, so a failing case shrinks
+    /// in *generator-parameter space* — try each candidate, keep the first
+    /// that still fails, repeat until none does. Every candidate satisfies
+    /// [`SynthSpec::is_valid`] and so feeds straight back into [`generate`].
+    pub fn shrink_candidates(&self) -> Vec<SynthSpec> {
+        let mut out: Vec<SynthSpec> = Vec::new();
+        let mut consider = |s: SynthSpec| {
+            if s.is_valid() && !out.contains(&s) {
+                out.push(s);
+            }
+        };
+        let with = |f: &dyn Fn(&mut SynthSpec)| {
+            let mut s = self.clone();
+            f(&mut s);
+            s
+        };
+        let gate_floor = (self.num_pos + self.num_ffs).max(1);
+        for gates in [self.num_gates / 2, self.num_gates.saturating_sub(1)] {
+            if gates >= gate_floor && gates < self.num_gates {
+                consider(with(&|s| s.num_gates = gates));
+            }
+        }
+        for ffs in [self.num_ffs / 2, self.num_ffs.saturating_sub(1)] {
+            if ffs < self.num_ffs {
+                consider(with(&|s| s.num_ffs = ffs));
+            }
+        }
+        for pis in [self.num_pis / 2, self.num_pis.saturating_sub(1)] {
+            if pis >= 1 && pis < self.num_pis {
+                consider(with(&|s| s.num_pis = pis));
+            }
+        }
+        for pos in [self.num_pos / 2, self.num_pos.saturating_sub(1)] {
+            if pos >= 1 && pos < self.num_pos {
+                consider(with(&|s| s.num_pos = pos));
+            }
+        }
+        out
+    }
 }
 
 /// Generates a deterministic random sequential circuit from `spec`.
@@ -360,5 +411,38 @@ mod tests {
     fn handles_many_ffs_few_gates() {
         let nl = generate(&SynthSpec::new("ffheavy", 2, 1, 20, 25, 1)).unwrap();
         assert_eq!(nl.num_ffs(), 20);
+    }
+
+    #[test]
+    fn shrink_candidates_are_valid_and_strictly_smaller() {
+        let base = spec();
+        let size = |s: &SynthSpec| s.num_pis + s.num_pos + s.num_ffs + s.num_gates;
+        let candidates = base.shrink_candidates();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(c.is_valid(), "{c:?}");
+            assert!(size(c) < size(&base), "{c:?} is not smaller");
+            assert_eq!(c.seed, base.seed, "shrinking must not change the seed");
+            generate(c).expect("every shrink candidate generates");
+        }
+        // Shrinking terminates: repeated first-candidate steps reach a spec
+        // with no candidates.
+        let mut cur = base;
+        for _ in 0..10_000 {
+            match cur.shrink_candidates().into_iter().next() {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        assert!(cur.shrink_candidates().is_empty(), "stuck at {cur:?}");
+    }
+
+    #[test]
+    fn minimal_specs_do_not_shrink_below_validity() {
+        let tiny = SynthSpec::new("tiny", 1, 1, 0, 1, 3);
+        assert!(tiny.is_valid());
+        assert!(tiny.shrink_candidates().is_empty());
+        assert!(!SynthSpec::new("bad", 0, 1, 0, 1, 0).is_valid());
+        assert!(!SynthSpec::new("bad", 1, 1, 5, 3, 0).is_valid());
     }
 }

@@ -1,0 +1,92 @@
+//! `.bench` writer→parser round-trip properties.
+//!
+//! [`bench_fmt::write`] promises that its output parses back to a
+//! structurally identical circuit. These tests hold it to that over the
+//! whole benchmark catalog and a space of random synthetic circuits:
+//! net names, flip-flop ordering, gate kinds and input order, and the
+//! interface counts embedded in the header comments must all survive the
+//! trip.
+
+use atspeed_circuit::bench_fmt::{self, s27};
+use atspeed_circuit::synth::{generate, SynthSpec};
+use atspeed_circuit::{catalog, Netlist};
+use proptest::prelude::*;
+
+/// Asserts that `nl` and `write(nl)` re-parsed describe the same circuit.
+fn assert_round_trips(nl: &Netlist) {
+    let text = bench_fmt::write(nl);
+    let back = bench_fmt::parse(nl.name(), &text).expect("writer output parses");
+
+    assert_eq!(back.num_pis(), nl.num_pis());
+    assert_eq!(back.num_pos(), nl.num_pos());
+    assert_eq!(back.num_ffs(), nl.num_ffs());
+    assert_eq!(back.num_gates(), nl.num_gates());
+    assert_eq!(back.num_nets(), nl.num_nets());
+
+    // Interface names and ordering.
+    let names = |nl: &Netlist, nets: &[atspeed_circuit::NetId]| -> Vec<String> {
+        nets.iter().map(|&n| nl.net_name(n).to_owned()).collect()
+    };
+    assert_eq!(names(&back, back.pis()), names(nl, nl.pis()));
+    assert_eq!(names(&back, back.pos()), names(nl, nl.pos()));
+
+    // Flip-flop ordering (scan-chain order!) with q/d wiring by name.
+    for (a, b) in nl.ffs().iter().zip(back.ffs().iter()) {
+        assert_eq!(nl.net_name(a.q()), back.net_name(b.q()));
+        assert_eq!(nl.net_name(a.d()), back.net_name(b.d()));
+    }
+
+    // Gates: same kind and same inputs in the same order, matched by
+    // output-net name.
+    assert_eq!(nl.gates().len(), back.gates().len());
+    for (a, b) in nl.gates().iter().zip(back.gates().iter()) {
+        assert_eq!(nl.net_name(a.output()), back.net_name(b.output()));
+        assert_eq!(a.kind(), b.kind());
+        let ins_a: Vec<&str> = a.inputs().iter().map(|&n| nl.net_name(n)).collect();
+        let ins_b: Vec<&str> = b.inputs().iter().map(|&n| back.net_name(n)).collect();
+        assert_eq!(ins_a, ins_b, "inputs of {}", nl.net_name(a.output()));
+    }
+
+    // The header comments carry the circuit name and interface counts.
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some(format!("# {}", nl.name()).as_str()));
+    let counts = lines.next().expect("counts comment");
+    assert!(counts.starts_with('#'));
+    assert!(
+        counts.contains(&format!("{} inputs", nl.num_pis())),
+        "{counts}"
+    );
+    assert!(
+        counts.contains(&format!("{} gates", nl.num_gates())),
+        "{counts}"
+    );
+
+    // Writing the re-parsed circuit reproduces the text exactly (the writer
+    // is a fixpoint of parse∘write).
+    assert_eq!(bench_fmt::write(&back), text);
+}
+
+#[test]
+fn s27_fixture_round_trips() {
+    assert_round_trips(&s27());
+}
+
+#[test]
+fn catalog_circuits_round_trip() {
+    for info in catalog::all() {
+        assert_round_trips(&info.instantiate());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_synthetic_circuits_round_trip(
+        (pis, pos, ffs, gates, seed) in (1usize..6, 1usize..5, 0usize..10, 8usize..120, any::<u64>())
+    ) {
+        let spec = SynthSpec::new("rt", pis, pos, ffs, gates.max(pos + ffs), seed);
+        let nl = generate(&spec).unwrap();
+        assert_round_trips(&nl);
+    }
+}

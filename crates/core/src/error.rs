@@ -24,6 +24,14 @@ pub enum CoreError {
         /// Number of scan-in candidates.
         candidates: usize,
     },
+    /// Independent re-simulation contradicted the coverage a phase claimed
+    /// (see [`crate::oracle::verify_test_set`]).
+    VerificationFailed {
+        /// What was being verified and what was found, human-readable.
+        context: String,
+        /// Number of claimed-but-undetected faults.
+        missing: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +45,10 @@ impl fmt::Display for CoreError {
             CoreError::SelectedMarksTooShort { marks, candidates } => write!(
                 f,
                 "selected marks cover {marks} entries but there are {candidates} candidates"
+            ),
+            CoreError::VerificationFailed { context, missing } => write!(
+                f,
+                "coverage verification failed ({missing} faults missing): {context}"
             ),
         }
     }
@@ -67,5 +79,17 @@ mod tests {
         assert!(e.to_string().contains("fault list is empty"));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&CoreError::EmptyT0).is_none());
+    }
+
+    #[test]
+    fn verification_failed_displays_counts() {
+        let e = CoreError::VerificationFailed {
+            context: "test 3 misses f7".to_owned(),
+            missing: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1 faults missing"), "{s}");
+        assert!(s.contains("test 3 misses f7"), "{s}");
+        assert!(Error::source(&e).is_none());
     }
 }

@@ -36,6 +36,7 @@ pub mod dynamic;
 mod error;
 pub mod export;
 pub mod iterate;
+pub mod oracle;
 pub mod partial;
 pub mod phase1;
 pub mod phase2;
@@ -49,6 +50,7 @@ pub use diagnose::{diagnose, Candidate};
 pub use error::CoreError;
 pub use export::write_test_program;
 pub use iterate::{build_tau_seq, IterateConfig, TauSeqResult};
+pub use oracle::{verify_test_set, ClaimedCoverage, OracleReport};
 pub use partial::PartialScan;
 pub use phase1::{select_scan_test, Phase1Config, Phase1Result, ScanOutRule};
 pub use phase3::{top_up, Phase3Result};

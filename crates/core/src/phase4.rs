@@ -33,6 +33,10 @@ pub struct StaticCompactionStats {
     pub rounds: usize,
     /// Combinations that only succeeded thanks to a transfer sequence.
     pub transfer_combinations: usize,
+    /// Failed-pair cache entries alive at termination. Entries involving a
+    /// consumed test are purged on every accepted combination, so this is
+    /// bounded by `live·(live−1)` for `live` surviving tests.
+    pub failed_pairs: usize,
 }
 
 /// Configuration for transfer-sequence insertion, the improvement of the
@@ -203,6 +207,12 @@ pub fn combine_tests_sim(
                     entries[i] = Some((combined, assigned));
                     entries[j] = None;
                     versions[i] += 1;
+                    versions[j] += 1;
+                    // `j` can never be combined again: every cached verdict
+                    // involving it is permanently dead weight. Without this
+                    // purge the map grows with the square of the consumed
+                    // tests across sweeps on large sets.
+                    failed.retain(|&(a, b), _| a != j && b != j);
                     stats.combinations += 1;
                     changed = true;
                 } else {
@@ -214,6 +224,7 @@ pub fn combine_tests_sim(
             break;
         }
     }
+    stats.failed_pairs = failed.len();
 
     let tests: Vec<ScanTest> = entries.into_iter().flatten().map(|(t, _)| t).collect();
     (TestSet::from_tests(tests), stats)
@@ -346,6 +357,28 @@ mod tests {
         assert!(
             with_transfer.clock_cycles(n_sv) <= initial.clock_cycles(n_sv),
             "a transfer sequence shorter than N_SV always saves cycles"
+        );
+    }
+
+    #[test]
+    fn failed_pair_cache_stays_bounded_by_live_pairs() {
+        let (nl, u, c) = setup();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let initial = TestSet::from_comb_tests(&c);
+        let (compacted, stats) = combine_tests(&nl, &u, &initial, &targets);
+        assert!(
+            stats.combinations > 0,
+            "needs accepted combinations to exercise the purge"
+        );
+        // Every surviving cache entry must name two live tests; before the
+        // purge existed, entries keyed on consumed indices accumulated and
+        // this bound was exceeded whenever compaction shrank the set.
+        let live = compacted.len();
+        assert!(
+            stats.failed_pairs <= live * live.saturating_sub(1),
+            "{} cached pairs for {} live tests",
+            stats.failed_pairs,
+            live
         );
     }
 

@@ -15,6 +15,7 @@ use atspeed_sim::{stats, CombTest, Sequence, SimConfig};
 
 use crate::error::CoreError;
 use crate::iterate::{build_tau_seq, IterateConfig};
+use crate::oracle::{verify_test_set, ClaimedCoverage, OracleReport};
 use crate::phase3::top_up_with;
 use crate::phase4::combine_tests_sim;
 use crate::test::{AtSpeedStats, ScanTest, TestSet};
@@ -51,6 +52,7 @@ pub struct Pipeline<'a> {
     provided_t0: Option<Sequence>,
     provided_c: Option<Vec<CombTest>>,
     sim: SimConfig,
+    verify: bool,
 }
 
 impl<'a> Pipeline<'a> {
@@ -71,6 +73,7 @@ impl<'a> Pipeline<'a> {
             provided_t0: None,
             provided_c: None,
             sim: SimConfig::from_env(),
+            verify: false,
         }
     }
 
@@ -109,6 +112,16 @@ impl<'a> Pipeline<'a> {
     /// Enables or disables Phase 4 (static compaction of the result).
     pub fn phase4(mut self, enabled: bool) -> Self {
         self.run_phase4 = enabled;
+        self
+    }
+
+    /// Enables the end-to-end coverage oracle: after the phases finish, the
+    /// initial and compacted test sets are independently re-fault-simulated
+    /// with the serial reference engine and cross-checked against the
+    /// claimed coverage ([`verify_test_set`]). [`Pipeline::run`] then
+    /// returns [`CoreError::VerificationFailed`] on any discrepancy.
+    pub fn verify(mut self, enabled: bool) -> Self {
+        self.verify = enabled;
         self
     }
 
@@ -237,6 +250,35 @@ impl<'a> Pipeline<'a> {
             (initial_set.clone(), Default::default())
         };
         drop(sp);
+
+        // Optional end-to-end verification: re-simulate both sets with the
+        // serial reference engine against what the phases claimed. The
+        // initial set carries the per-test τ_seq claim (test 0); the
+        // compacted set must cover the same whole-set claim, which is
+        // exactly Phase 4's "coverage never decreases" invariant.
+        let oracle = if self.verify {
+            stats::set_phase("verify");
+            let sp = atspeed_trace::span("pipeline.verify");
+            let init_claim = ClaimedCoverage {
+                detected: detected_by_set.clone(),
+                per_test: vec![(0, tau.detected.clone())],
+            };
+            let a = verify_test_set(nl, &universe, &initial_set, &init_claim)?;
+            let b = verify_test_set(
+                nl,
+                &universe,
+                &compacted_set,
+                &ClaimedCoverage::set_only(detected_by_set.clone()),
+            )?;
+            drop(sp);
+            Some(OracleReport {
+                set_faults_checked: a.set_faults_checked + b.set_faults_checked,
+                per_test_faults_checked: a.per_test_faults_checked + b.per_test_faults_checked,
+                simulations: a.simulations + b.simulations,
+            })
+        } else {
+            None
+        };
         stats::set_phase("post-pipeline");
 
         let n_sv = nl.num_ffs();
@@ -260,6 +302,7 @@ impl<'a> Pipeline<'a> {
             initial_set,
             compacted_set,
             comb_tests,
+            oracle,
         })
     }
 }
@@ -305,6 +348,9 @@ pub struct PipelineResult {
     pub compacted_set: TestSet,
     /// The combinational test set `C` used (kept for baseline runs).
     pub comb_tests: Vec<CombTest>,
+    /// What the coverage oracle re-simulated, when [`Pipeline::verify`] was
+    /// enabled (`None` otherwise).
+    pub oracle: Option<OracleReport>,
 }
 
 impl PipelineResult {
@@ -395,6 +441,20 @@ mod tests {
         assert!(r.tau_seq_detected >= r.t0_detected);
         assert!(r.final_detected >= r.tau_seq_detected);
         assert!(r.coverage() > 0.5);
+    }
+
+    #[test]
+    fn verified_run_matches_unverified_and_reports_oracle_work() {
+        let nl = s27();
+        let plain = Pipeline::new(&nl).seed(7).run().unwrap();
+        assert!(plain.oracle.is_none());
+        let verified = Pipeline::new(&nl).seed(7).verify(true).run().unwrap();
+        let oracle = verified.oracle.expect("oracle ran");
+        assert!(oracle.simulations > 0);
+        assert!(oracle.set_faults_checked > 0);
+        assert_eq!(plain.initial_set, verified.initial_set);
+        assert_eq!(plain.compacted_set, verified.compacted_set);
+        assert_eq!(plain.final_detected, verified.final_detected);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub use fsim_comb::{CombFaultSim, CombTest};
 pub use fsim_seq::{DetectionProfile, FinalObserve, SeqFaultSim, SeqSim};
 pub use kernel::{CompiledSim, SimScratch};
 pub use logic::{V3, W3};
-pub use parallel::{ParallelFsim, SimConfig};
+pub use parallel::{MatrixMismatch, ParallelFsim, SimConfig};
 pub use stats::{PhaseStats, SimReport};
 pub use transition::{TransitionFault, TransitionFaultSim};
-pub use vectors::{Sequence, State};
+pub use vectors::{try_parse_values, ParseError, Sequence, State};

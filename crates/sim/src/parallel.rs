@@ -121,6 +121,50 @@ impl SharedDetectMap {
     }
 }
 
+/// An internal inconsistency between two detection views of the same
+/// (tests, faults) pair, found by [`ParallelFsim::check_matrix_consistency`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixMismatch {
+    /// The row-union of `detect_matrix` disagrees with the `detect_all`
+    /// bitmap for one fault.
+    UnionDisagrees {
+        /// Index of the fault in the caller's fault list.
+        fault_index: usize,
+        /// What the matrix row-union says.
+        matrix_detected: bool,
+        /// What the dropping bitmap says.
+        bitmap_detected: bool,
+    },
+    /// A matrix row has bits set beyond the test count (padding bits of the
+    /// last word must stay zero).
+    PaddingBitsSet {
+        /// Index of the fault in the caller's fault list.
+        fault_index: usize,
+    },
+}
+
+impl std::fmt::Display for MatrixMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixMismatch::UnionDisagrees {
+                fault_index,
+                matrix_detected,
+                bitmap_detected,
+            } => write!(
+                f,
+                "fault {fault_index}: detect_matrix union says {matrix_detected}, \
+                 detect_all bitmap says {bitmap_detected}"
+            ),
+            MatrixMismatch::PaddingBitsSet { fault_index } => write!(
+                f,
+                "fault {fault_index}: detect_matrix row sets bits beyond the test count"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatrixMismatch {}
+
 /// Multi-threaded front end over the fault-simulation engines.
 pub struct ParallelFsim<'a> {
     nl: &'a Netlist,
@@ -395,6 +439,51 @@ impl<'a> ParallelFsim<'a> {
             }
         }
         out
+    }
+
+    /// Cross-checks the two combinational detection views against each
+    /// other: the full no-dropping [`ParallelFsim::detect_matrix`]
+    /// (fault-sharded) row-unioned per fault must equal the
+    /// [`ParallelFsim::detect_all`] bitmap (test-sharded with dropping),
+    /// and no matrix row may set bits beyond the test count.
+    ///
+    /// The two paths shard along different axes and only one of them drops
+    /// faults, so agreement here is a real differential check, not a
+    /// tautology. Used by the `atspeed-verify` fuzzer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MatrixMismatch`] found.
+    pub fn check_matrix_consistency(
+        &self,
+        tests: &[CombTest],
+        faults: &[FaultId],
+        universe: &FaultUniverse,
+    ) -> Result<(), MatrixMismatch> {
+        let matrix = self.detect_matrix(tests, faults, universe);
+        let bitmap = self.detect_all(tests, faults, universe);
+        let full_words = tests.len() / 64;
+        let tail_mask = match tests.len() % 64 {
+            0 => 0u64,
+            r => !0u64 << r,
+        };
+        for (fault_index, (row, &bitmap_detected)) in matrix.iter().zip(bitmap.iter()).enumerate() {
+            for (w, &word) in row.iter().enumerate() {
+                let stray = if w < full_words { 0 } else { word & tail_mask };
+                if stray != 0 {
+                    return Err(MatrixMismatch::PaddingBitsSet { fault_index });
+                }
+            }
+            let matrix_detected = row.iter().any(|&w| w != 0);
+            if matrix_detected != bitmap_detected {
+                return Err(MatrixMismatch::UnionDisagrees {
+                    fault_index,
+                    matrix_detected,
+                    bitmap_detected,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Parallel [`SeqFaultSim::detect`], fault-sharded.
@@ -677,6 +766,34 @@ mod tests {
         for (a, b) in sp.iter().zip(pp.iter()) {
             assert_eq!(a.earliest_detection(), b.earliest_detection());
         }
+    }
+
+    #[test]
+    fn matrix_consistency_holds_on_s27() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let faults: Vec<FaultId> = u.representatives().to_vec();
+        // 70 tests exercises a partial last word (70 % 64 != 0).
+        let tests = comb_tests(&nl, 70, 11);
+        for threads in [1, 3] {
+            ParallelFsim::new(&nl, SimConfig::with_threads(threads))
+                .check_matrix_consistency(&tests, &faults, &u)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn matrix_mismatch_displays_both_views() {
+        let e = MatrixMismatch::UnionDisagrees {
+            fault_index: 3,
+            matrix_detected: true,
+            bitmap_detected: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("fault 3"), "{s}");
+        assert!(s.contains("true") && s.contains("false"), "{s}");
+        let p = MatrixMismatch::PaddingBitsSet { fault_index: 1 }.to_string();
+        assert!(p.contains("beyond the test count"), "{p}");
     }
 
     #[test]

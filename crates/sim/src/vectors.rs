@@ -166,6 +166,53 @@ impl FromIterator<Vec<V3>> for Sequence {
     }
 }
 
+/// A character that is not a 3-valued logic literal, found while parsing a
+/// vector string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending character.
+    pub character: char,
+    /// Its byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid logic character `{}` at position {} (expected 0, 1, x, or X)",
+            self.character, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a state or vector string like `"01x1"` into values, reporting
+/// the first invalid character instead of panicking.
+///
+/// This is the entry point for externally supplied vectors (CLI arguments,
+/// vector files, repro bundles); [`parse_values`] is its panicking
+/// counterpart for tests and examples with literal strings.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first character outside
+/// `0`, `1`, `x`, `X`.
+pub fn try_parse_values(s: &str) -> Result<Vec<V3>, ParseError> {
+    s.char_indices()
+        .map(|(position, c)| match c {
+            '0' => Ok(V3::Zero),
+            '1' => Ok(V3::One),
+            'x' | 'X' => Ok(V3::X),
+            character => Err(ParseError {
+                character,
+                position,
+            }),
+        })
+        .collect()
+}
+
 /// Parses a state or vector string like `"01x1"` into values.
 ///
 /// Intended for tests and examples.
@@ -174,14 +221,10 @@ impl FromIterator<Vec<V3>> for Sequence {
 ///
 /// Panics on characters other than `0`, `1`, `x`, `X`.
 pub fn parse_values(s: &str) -> Vec<V3> {
-    s.chars()
-        .map(|c| match c {
-            '0' => V3::Zero,
-            '1' => V3::One,
-            'x' | 'X' => V3::X,
-            other => panic!("invalid logic character `{other}`"),
-        })
-        .collect()
+    match try_parse_values(s) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +297,23 @@ mod tests {
     #[test]
     fn parse_values_handles_case() {
         assert_eq!(parse_values("01xX"), vec![V3::Zero, V3::One, V3::X, V3::X]);
+    }
+
+    #[test]
+    fn try_parse_values_locates_bad_characters() {
+        assert_eq!(try_parse_values("01x"), Ok(parse_values("01x")));
+        assert_eq!(try_parse_values(""), Ok(vec![]));
+        let err = try_parse_values("012").unwrap_err();
+        assert_eq!(err.character, '2');
+        assert_eq!(err.position, 2);
+        assert!(err.to_string().contains("position 2"), "{err}");
+        assert!(try_parse_values("0 1").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid logic character `q`")]
+    fn parse_values_still_panics_for_tests() {
+        let _ = parse_values("0q");
     }
 
     #[test]

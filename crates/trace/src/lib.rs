@@ -51,7 +51,9 @@ pub mod metrics;
 pub mod span;
 
 pub use log::Level;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKindError, MetricsRegistry, MetricsSnapshot,
+};
 pub use span::{
     chrome_trace_json, set_tracing, span, span_args, tracing_enabled, write_chrome_trace, Span,
     Tracer,

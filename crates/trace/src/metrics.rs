@@ -229,6 +229,39 @@ enum Metric {
     Histogram(Histogram),
 }
 
+impl Metric {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A metric name was resolved as one kind but is registered as another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricKindError {
+    /// The contested metric name.
+    pub name: String,
+    /// The kind the caller asked for.
+    pub requested: &'static str,
+    /// The kind the name is registered as.
+    pub registered: &'static str,
+}
+
+impl std::fmt::Display for MetricKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "metric `{}` requested as {} but registered as {}",
+            self.name, self.requested, self.registered
+        )
+    }
+}
+
+impl std::error::Error for MetricKindError {}
+
 /// A named registry of counters, gauges, and histograms.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -243,50 +276,104 @@ impl MetricsRegistry {
 
     /// Resolves (creating on first use) the counter named `name`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is already registered as a different metric kind.
-    pub fn counter(&self, name: &str) -> Counter {
+    /// Returns a [`MetricKindError`] if `name` is already registered as a
+    /// different metric kind.
+    pub fn try_counter(&self, name: &str) -> Result<Counter, MetricKindError> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Counter(Counter::default()))
         {
-            Metric::Counter(c) => c.clone(),
-            _ => panic!("metric `{name}` is not a counter"),
+            Metric::Counter(c) => Ok(c.clone()),
+            other => Err(MetricKindError {
+                name: name.to_owned(),
+                requested: "counter",
+                registered: other.kind_name(),
+            }),
         }
+    }
+
+    /// Resolves (creating on first use) the counter named `name`.
+    ///
+    /// On a kind collision — `name` already registered as a gauge or
+    /// histogram, typically two crates instrumenting the same name — this
+    /// logs an error and returns a *detached* handle whose updates are
+    /// dropped, so an instrumentation clash can never abort a run. Use
+    /// [`MetricsRegistry::try_counter`] to observe the collision.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.try_counter(name).unwrap_or_else(|e| {
+            crate::error!("trace.metrics", "metric kind collision; returning detached handle";
+                name = e.name, requested = e.requested, registered = e.registered);
+            Counter::default()
+        })
     }
 
     /// Resolves (creating on first use) the gauge named `name`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is already registered as a different metric kind.
-    pub fn gauge(&self, name: &str) -> Gauge {
+    /// Returns a [`MetricKindError`] if `name` is already registered as a
+    /// different metric kind.
+    pub fn try_gauge(&self, name: &str) -> Result<Gauge, MetricKindError> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Gauge(Gauge::default()))
         {
-            Metric::Gauge(g) => g.clone(),
-            _ => panic!("metric `{name}` is not a gauge"),
+            Metric::Gauge(g) => Ok(g.clone()),
+            other => Err(MetricKindError {
+                name: name.to_owned(),
+                requested: "gauge",
+                registered: other.kind_name(),
+            }),
         }
+    }
+
+    /// Resolves (creating on first use) the gauge named `name`.
+    ///
+    /// On a kind collision this logs an error and returns a *detached*
+    /// handle whose updates are dropped (see [`MetricsRegistry::counter`]).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.try_gauge(name).unwrap_or_else(|e| {
+            crate::error!("trace.metrics", "metric kind collision; returning detached handle";
+                name = e.name, requested = e.requested, registered = e.registered);
+            Gauge::default()
+        })
     }
 
     /// Resolves (creating on first use) the histogram named `name`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is already registered as a different metric kind.
-    pub fn histogram(&self, name: &str) -> Histogram {
+    /// Returns a [`MetricKindError`] if `name` is already registered as a
+    /// different metric kind.
+    pub fn try_histogram(&self, name: &str) -> Result<Histogram, MetricKindError> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Histogram(Histogram::default()))
         {
-            Metric::Histogram(h) => h.clone(),
-            _ => panic!("metric `{name}` is not a histogram"),
+            Metric::Histogram(h) => Ok(h.clone()),
+            other => Err(MetricKindError {
+                name: name.to_owned(),
+                requested: "histogram",
+                registered: other.kind_name(),
+            }),
         }
+    }
+
+    /// Resolves (creating on first use) the histogram named `name`.
+    ///
+    /// On a kind collision this logs an error and returns a *detached*
+    /// handle whose updates are dropped (see [`MetricsRegistry::counter`]).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.try_histogram(name).unwrap_or_else(|e| {
+            crate::error!("trace.metrics", "metric kind collision; returning detached handle";
+                name = e.name, requested = e.requested, registered = e.registered);
+            Histogram::default()
+        })
     }
 
     /// Zeroes every metric's value, keeping names and handles valid.
@@ -462,11 +549,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a counter")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_returns_detached_handle_not_panic() {
         let reg = MetricsRegistry::new();
-        let _ = reg.gauge("x");
-        let _ = reg.counter("x");
+        reg.gauge("x").set(5);
+        // Pre-fix this aborted the process; now the clashing caller gets a
+        // detached counter whose updates go nowhere.
+        let detached = reg.counter("x");
+        detached.add(100);
+        assert_eq!(detached.get(), 100, "detached handle still works locally");
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("x"), Some(5), "registered gauge untouched");
+        assert_eq!(snap.counter("x"), None, "no counter ever registered");
+
+        let err = reg.try_counter("x").unwrap_err();
+        assert_eq!(err.requested, "counter");
+        assert_eq!(err.registered, "gauge");
+        assert!(err.to_string().contains("`x`"), "{err}");
+        assert!(reg.try_histogram("x").is_err());
+        assert!(reg.try_gauge("x").is_ok());
+        // Collisions in the other directions detach too.
+        reg.histogram("h").record(1);
+        let _ = reg.gauge("h");
+        let _ = reg.histogram("x");
+        assert_eq!(reg.snapshot().histogram("h").unwrap().count, 1);
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! Differential fuzzing across independent engine implementations.
+//!
+//! A [`Case`] is a fully deterministic point in generator-parameter space:
+//! a [`SynthSpec`] for the circuit, a data seed for the stimuli, a sequence
+//! length, and a cap on the fault sample. [`run_case`] regenerates
+//! everything from those parameters and runs every differential check the
+//! workspace supports:
+//!
+//! 1. **logic** — the legacy [`CombSim`] walker against the compiled CSR
+//!    kernel ([`CompiledSim`]) on the full-pass, fault-override, and
+//!    event-driven delta paths, over random 3-valued inputs;
+//! 2. **comb-detect / matrix** — the serial PPSFP engine against the
+//!    test-sharded (fault-dropping) parallel front end, plus the
+//!    fault-sharded detection matrix against the detection bitmap
+//!    ([`ParallelFsim::check_matrix_consistency`]);
+//! 3. **seq-detect** — serial sequential fault simulation against the
+//!    fault-sharded parallel front end at each requested thread count;
+//! 4. **omission** — the serial Phase-2 vector-omission sweep against the
+//!    speculative parallel sweep
+//!    ([`check_omission_differential`](atspeed_atpg::compact::check_omission_differential)).
+//!
+//! Any disagreement surfaces as a [`Divergence`]; [`run_fuzz`] then shrinks
+//! the case ([`crate::shrink`]) and dumps a reproduction bundle
+//! ([`crate::repro`]).
+
+use std::path::PathBuf;
+
+use atspeed_atpg::compact::{check_omission_differential, OmissionConfig};
+use atspeed_circuit::synth::{generate, SynthSpec};
+use atspeed_circuit::Netlist;
+use atspeed_sim::fault::{FaultId, FaultUniverse};
+use atspeed_sim::{
+    CombFaultSim, CombSim, CombTest, CompiledSim, Overrides, ParallelFsim, SeqFaultSim, Sequence,
+    SimConfig, SimScratch, State, V3, W3,
+};
+
+/// Salt so stimuli derivation is independent of how many random draws the
+/// logic checks consumed (the repro dumper regenerates stimuli directly).
+const STIMULI_SALT: u64 = 0x5717_0711;
+
+/// One deterministic differential-fuzzing case.
+///
+/// Everything [`run_case`] simulates is a pure function of these fields:
+/// the same case always reproduces the same circuit, stimuli, and verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// Generator parameters for the circuit under test.
+    pub spec: SynthSpec,
+    /// Seed for the stimuli (initial state, input sequence, test block).
+    pub data_seed: u64,
+    /// Length of the at-speed input sequence.
+    pub seq_len: usize,
+    /// Upper bound on the collapsed-fault sample size.
+    pub fault_cap: usize,
+}
+
+impl Case {
+    /// Derives case `i` of the fuzzing run with master seed `seed`.
+    pub fn from_iteration(seed: u64, i: usize) -> Case {
+        let mut next = rng(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let num_pis = 2 + (next() % 4) as usize; // 2..=5
+        let num_pos = 1 + (next() % 3) as usize; // 1..=3
+        let num_ffs = 1 + (next() % 7) as usize; // 1..=7
+        let floor = num_pos + num_ffs;
+        let num_gates = (8 + (next() % 72) as usize).max(floor); // 8..=79
+        let spec = SynthSpec::new("fuzz", num_pis, num_pos, num_ffs, num_gates, next());
+        Case {
+            spec,
+            data_seed: next(),
+            seq_len: 4 + (next() % 16) as usize,   // 4..=19
+            fault_cap: 8 + (next() % 56) as usize, // 8..=63
+        }
+    }
+}
+
+/// A disagreement between two engine implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which differential check failed (`logic`, `comb-detect`, `matrix`,
+    /// `seq-detect`, `omission`, or `synth` when generation itself errors).
+    pub check: &'static str,
+    /// Human-readable description of the first disagreement found.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "divergence in {}: {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// What a clean [`run_case`] exercised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseReport {
+    /// Differential comparisons performed.
+    pub checks: usize,
+    /// Collapsed faults in the sample.
+    pub faults: usize,
+    /// Nets in the generated circuit.
+    pub nets: usize,
+}
+
+/// Splitmix-style deterministic stream for stimuli.
+fn rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    move || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A random 3-valued word: every slot independently 0, 1, or X.
+fn random_w3(next: &mut impl FnMut() -> u64) -> W3 {
+    let a = next();
+    let b = next();
+    W3 {
+        zero: a & !b,
+        one: !a & b,
+    }
+}
+
+/// A random scalar value: X with probability 1/16, else a fair bit.
+fn random_v3(next: &mut impl FnMut() -> u64) -> V3 {
+    let r = next();
+    if r.is_multiple_of(16) {
+        V3::X
+    } else if r & 2 != 0 {
+        V3::One
+    } else {
+        V3::Zero
+    }
+}
+
+/// The deterministic stimuli of a case: initial state and input sequence.
+///
+/// Derivation depends only on `case.data_seed`, `case.seq_len`, and the
+/// circuit interface, so the repro dumper can regenerate byte-identical
+/// vector files without re-running any checks.
+pub fn case_stimuli(case: &Case, nl: &Netlist) -> (State, Sequence) {
+    let mut next = rng(case.data_seed ^ STIMULI_SALT);
+    let init: State = (0..nl.num_ffs()).map(|_| random_v3(&mut next)).collect();
+    let seq: Sequence = (0..case.seq_len)
+        .map(|_| (0..nl.num_pis()).map(|_| random_v3(&mut next)).collect())
+        .collect();
+    (init, seq)
+}
+
+/// An evenly spread sample of up to `cap` collapsed faults.
+fn sample_faults(u: &FaultUniverse, cap: usize) -> Vec<FaultId> {
+    let reps = u.representatives();
+    let stride = (reps.len() / cap.max(1)).max(1);
+    reps.iter().copied().step_by(stride).take(cap).collect()
+}
+
+/// A random override set over up to 63 collapsed faults.
+fn random_overrides(nl: &Netlist, u: &FaultUniverse, next: &mut impl FnMut() -> u64) -> Overrides {
+    let mut ov = Overrides::new(nl);
+    for (k, &fid) in u.representatives().iter().take(63).enumerate() {
+        if next() & 3 == 0 {
+            ov.add(u.fault(fid), 1u64 << (k % 63 + 1));
+        }
+    }
+    ov
+}
+
+/// Legacy walker vs compiled kernel on full, override, and delta paths.
+fn check_logic(
+    nl: &Netlist,
+    u: &FaultUniverse,
+    next: &mut impl FnMut() -> u64,
+) -> Result<usize, Divergence> {
+    let cc = nl.compiled();
+    let sim = CompiledSim::new(cc);
+    let mut scratch = SimScratch::new(cc);
+    let mut legacy = CombSim::new(nl);
+    let mut vals = vec![W3::ALL_X; nl.num_nets()];
+    let ov = random_overrides(nl, u, next);
+
+    let seed_both = |vals: &mut [W3], scratch: &mut SimScratch, next: &mut dyn FnMut() -> u64| {
+        for &pi in nl.pis() {
+            let w = random_w3(&mut || next());
+            vals[pi.index()] = w;
+            scratch.set_source(pi, w);
+        }
+        for ff in nl.ffs() {
+            let w = random_w3(&mut || next());
+            vals[ff.q().index()] = w;
+            scratch.set_source(ff.q(), w);
+        }
+    };
+    let compare = |vals: &[W3], scratch: &SimScratch, path: &str| -> Result<(), Divergence> {
+        for net in nl.net_ids() {
+            if scratch.value(net) != vals[net.index()] {
+                return Err(Divergence {
+                    check: "logic",
+                    detail: format!(
+                        "{path} pass: net `{}` compiled {:?} vs legacy {:?}",
+                        nl.net_name(net),
+                        scratch.value(net),
+                        vals[net.index()],
+                    ),
+                });
+            }
+        }
+        Ok(())
+    };
+
+    let mut checks = 0;
+    for _ in 0..3 {
+        seed_both(&mut vals, &mut scratch, next);
+        legacy.eval(&mut vals);
+        sim.eval(&mut scratch);
+        compare(&vals, &scratch, "full")?;
+        checks += 1;
+    }
+    seed_both(&mut vals, &mut scratch, next);
+    legacy.eval_with(&mut vals, &ov);
+    sim.eval_with(&mut scratch, &ov);
+    compare(&vals, &scratch, "override")?;
+    checks += 1;
+    for _ in 0..3 {
+        // Reseed a random subset of sources and take the delta path.
+        for &pi in nl.pis() {
+            if next() & 1 == 0 {
+                let w = random_w3(next);
+                vals[pi.index()] = w;
+                scratch.set_source(pi, w);
+            }
+        }
+        for ff in nl.ffs() {
+            if next() & 1 == 0 {
+                let w = random_w3(next);
+                vals[ff.q().index()] = w;
+                scratch.set_source(ff.q(), w);
+            }
+        }
+        legacy.eval_with(&mut vals, &ov);
+        sim.eval_delta_with(&mut scratch, &ov);
+        compare(&vals, &scratch, "delta")?;
+        checks += 1;
+    }
+    Ok(checks)
+}
+
+fn first_mismatch(a: &[bool], b: &[bool], faults: &[FaultId]) -> String {
+    match a.iter().zip(b).position(|(x, y)| x != y) {
+        Some(i) => format!(
+            "fault {:?} (index {i}): serial detected={} parallel detected={}",
+            faults[i], a[i], b[i]
+        ),
+        None => format!("lengths differ: {} vs {}", a.len(), b.len()),
+    }
+}
+
+/// Runs every differential check of one case at the given thread counts.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found — any bit of disagreement between
+/// two engines that are specified to be equivalent.
+pub fn run_case(case: &Case, threads: &[usize]) -> Result<CaseReport, Divergence> {
+    let nl = generate(&case.spec).map_err(|e| Divergence {
+        check: "synth",
+        detail: format!("generator rejected {:?}: {e}", case.spec),
+    })?;
+    let u = FaultUniverse::full(&nl);
+    let mut next = rng(case.data_seed);
+    let mut report = CaseReport {
+        checks: 0,
+        faults: 0,
+        nets: nl.num_nets(),
+    };
+
+    report.checks += check_logic(&nl, &u, &mut next)?;
+
+    let faults = sample_faults(&u, case.fault_cap);
+    report.faults = faults.len();
+
+    // Combinational detection: serial PPSFP vs the test-sharded parallel
+    // front end (which drops faults across partitions), plus the
+    // matrix-vs-bitmap consistency check on the fault-sharded path.
+    let tests: Vec<CombTest> = (0..8 + case.seq_len * 3)
+        .map(|_| {
+            CombTest::new(
+                (0..nl.num_ffs()).map(|_| random_v3(&mut next)).collect(),
+                (0..nl.num_pis()).map(|_| random_v3(&mut next)).collect(),
+            )
+        })
+        .collect();
+    let comb_serial = CombFaultSim::new(&nl).detect_all(&tests, &faults, &u);
+    for &t in threads {
+        let par = ParallelFsim::new(&nl, SimConfig::with_threads(t));
+        let got = par.detect_all(&tests, &faults, &u);
+        if got != comb_serial {
+            return Err(Divergence {
+                check: "comb-detect",
+                detail: format!(
+                    "threads {t}: {}",
+                    first_mismatch(&comb_serial, &got, &faults)
+                ),
+            });
+        }
+        par.check_matrix_consistency(&tests, &faults, &u)
+            .map_err(|m| Divergence {
+                check: "matrix",
+                detail: format!("threads {t}: {m}"),
+            })?;
+        report.checks += 2;
+    }
+
+    // Sequential detection: serial engine vs the fault-sharded parallel
+    // front end.
+    let (init, seq) = case_stimuli(case, &nl);
+    let seq_serial = SeqFaultSim::new(&nl).detect(&init, &seq, &faults, &u, true);
+    for &t in threads {
+        let got = ParallelFsim::new(&nl, SimConfig::with_threads(t))
+            .detect(&init, &seq, &faults, &u, true);
+        if got != seq_serial {
+            return Err(Divergence {
+                check: "seq-detect",
+                detail: format!(
+                    "threads {t}: {}",
+                    first_mismatch(&seq_serial, &got, &faults)
+                ),
+            });
+        }
+        report.checks += 1;
+    }
+
+    // Vector omission: serial sweep vs speculative parallel sweeps, on the
+    // faults this sequence actually detects.
+    let targets: Vec<FaultId> = faults
+        .iter()
+        .zip(&seq_serial)
+        .filter_map(|(&f, &d)| d.then_some(f))
+        .collect();
+    if seq.len() > 1 && !targets.is_empty() {
+        check_omission_differential(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            OmissionConfig::default(),
+            threads,
+        )
+        .map_err(|d| Divergence {
+            check: "omission",
+            detail: d.to_string(),
+        })?;
+        report.checks += 1;
+    }
+
+    Ok(report)
+}
+
+/// Settings for a fuzzing run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Master seed; case `i` derives from `(seed, i)`.
+    pub seed: u64,
+    /// Number of cases to run.
+    pub iters: usize,
+    /// Thread counts the parallel engines are exercised at.
+    pub threads: Vec<usize>,
+    /// Where to dump reproduction bundles for failing cases (skipped when
+    /// `None`).
+    pub out_dir: Option<PathBuf>,
+    /// Bound on minimizer re-simulations per failing case.
+    pub shrink_steps: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            iters: 100,
+            threads: vec![2, 3],
+            out_dir: None,
+            shrink_steps: 64,
+        }
+    }
+}
+
+/// One failing case, minimized and (optionally) dumped to disk.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The case as originally derived.
+    pub case: Case,
+    /// The smallest case the minimizer found that still diverges.
+    pub minimized: Case,
+    /// The divergence of the minimized case.
+    pub divergence: Divergence,
+    /// Where the reproduction bundle was written, if anywhere.
+    pub repro_dir: Option<PathBuf>,
+}
+
+/// Aggregate result of [`run_fuzz`].
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOutcome {
+    /// Cases derived and executed.
+    pub cases_run: usize,
+    /// Differential comparisons performed across all clean cases.
+    pub checks_run: usize,
+    /// Every diverging case (empty on a healthy workspace).
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Runs `cfg.iters` deterministic cases, minimizing and dumping every
+/// failure. Never panics on a divergence — all failures are collected so a
+/// single run reports every engine pair that disagrees.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    let _sp = atspeed_trace::span("verify.fuzz");
+    let mut out = FuzzOutcome::default();
+    for i in 0..cfg.iters {
+        let case = Case::from_iteration(cfg.seed, i);
+        atspeed_trace::metrics::global()
+            .counter("verify/cases")
+            .inc();
+        match run_case(&case, &cfg.threads) {
+            Ok(rep) => {
+                out.checks_run += rep.checks;
+            }
+            Err(div) => {
+                atspeed_trace::error!("verify.fuzz", "engines diverged";
+                    iteration = i, check = div.check, detail = div.detail);
+                atspeed_trace::metrics::global()
+                    .counter("verify/divergences")
+                    .inc();
+                let (minimized, divergence) =
+                    crate::shrink::minimize(&case, &cfg.threads, cfg.shrink_steps);
+                let repro_dir = cfg.out_dir.as_deref().and_then(|root| {
+                    match crate::repro::dump_repro(root, &minimized, &divergence) {
+                        Ok(dir) => Some(dir),
+                        Err(e) => {
+                            atspeed_trace::error!("verify.fuzz", "failed to dump repro";
+                                error = e.to_string());
+                            None
+                        }
+                    }
+                });
+                out.failures.push(FuzzFailure {
+                    case,
+                    minimized,
+                    divergence,
+                    repro_dir,
+                });
+            }
+        }
+        out.cases_run += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_derivation_is_deterministic_and_varied() {
+        let a = Case::from_iteration(7, 3);
+        let b = Case::from_iteration(7, 3);
+        assert_eq!(a, b);
+        assert!(a.spec.is_valid());
+        let c = Case::from_iteration(7, 4);
+        assert_ne!(a, c, "different iterations give different cases");
+    }
+
+    #[test]
+    fn stimuli_match_circuit_interface() {
+        let case = Case::from_iteration(11, 0);
+        let nl = generate(&case.spec).unwrap();
+        let (init, seq) = case_stimuli(&case, &nl);
+        assert_eq!(init.len(), nl.num_ffs());
+        assert_eq!(seq.len(), case.seq_len);
+        assert_eq!(seq.vector(0).len(), nl.num_pis());
+        // Same case, same stimuli.
+        let (init2, seq2) = case_stimuli(&case, &nl);
+        assert_eq!(init, init2);
+        assert_eq!(seq, seq2);
+    }
+
+    #[test]
+    fn small_batch_runs_clean() {
+        let outcome = run_fuzz(&FuzzConfig {
+            seed: 0xF00D,
+            iters: 4,
+            threads: vec![2],
+            ..FuzzConfig::default()
+        });
+        assert_eq!(outcome.cases_run, 4);
+        assert!(outcome.checks_run > 0);
+        assert!(
+            outcome.failures.is_empty(),
+            "engines diverged: {:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn run_case_reports_work() {
+        let case = Case::from_iteration(1, 0);
+        let rep = run_case(&case, &[2]).expect("engines agree");
+        assert!(rep.checks >= 9, "logic(7) + comb(2) at least: {rep:?}");
+        assert!(rep.faults > 0);
+        assert!(rep.nets > 0);
+    }
+}

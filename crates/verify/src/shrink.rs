@@ -1,0 +1,163 @@
+//! Failing-case minimization in generator-parameter space.
+//!
+//! [`generate`](atspeed_circuit::synth::generate) is deterministic in its
+//! [`SynthSpec`](atspeed_circuit::synth::SynthSpec), so a failing [`Case`]
+//! shrinks by shrinking its *parameters* — fewer gates, flip-flops, and
+//! pins (via [`SynthSpec::shrink_candidates`]), a shorter input sequence,
+//! a smaller fault sample — while the seeds stay fixed so every candidate
+//! reproduces exactly. Greedy descent: try candidates most-aggressive
+//! first, move to the first one that still fails, repeat until no smaller
+//! case fails or the step budget runs out.
+//!
+//! [`SynthSpec::shrink_candidates`]: atspeed_circuit::synth::SynthSpec::shrink_candidates
+
+use crate::fuzz::{run_case, Case, Divergence};
+
+/// Strictly smaller variants of `case`, most aggressive first: circuit
+/// shrinks, then sequence truncation, then fault subsetting.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out: Vec<Case> = Vec::new();
+    let mut consider = |c: Case| {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    for spec in case.spec.shrink_candidates() {
+        consider(Case {
+            spec,
+            ..case.clone()
+        });
+    }
+    for seq_len in [case.seq_len / 2, case.seq_len.saturating_sub(1)] {
+        if seq_len >= 1 && seq_len < case.seq_len {
+            consider(Case {
+                seq_len,
+                ..case.clone()
+            });
+        }
+    }
+    for fault_cap in [case.fault_cap / 2, case.fault_cap.saturating_sub(1)] {
+        if fault_cap >= 1 && fault_cap < case.fault_cap {
+            consider(Case {
+                fault_cap,
+                ..case.clone()
+            });
+        }
+    }
+    out
+}
+
+/// Minimizes a failing case against an arbitrary failure predicate.
+///
+/// `check` returns `Some(divergence)` when a case still fails. The starting
+/// `case` must fail; the result is a case that still fails and from which
+/// no candidate shrink does (a local minimum), unless `max_steps` check
+/// evaluations ran out first.
+///
+/// # Panics
+///
+/// Panics if `check(case)` is `None` — minimizing a passing case is a
+/// caller bug.
+pub fn minimize_with(
+    case: &Case,
+    check: impl Fn(&Case) -> Option<Divergence>,
+    max_steps: usize,
+) -> (Case, Divergence) {
+    let mut current = case.clone();
+    let mut divergence = check(&current).expect("minimize_with requires a failing case");
+    let mut steps = 0;
+    'descend: loop {
+        for cand in candidates(&current) {
+            if steps >= max_steps {
+                break 'descend;
+            }
+            steps += 1;
+            if let Some(d) = check(&cand) {
+                current = cand;
+                divergence = d;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current, divergence)
+}
+
+/// Minimizes a case that fails [`run_case`] at the given thread counts.
+///
+/// Any divergence keeps a candidate (the shrunk case may fail a *different*
+/// check than the original — that is still a smaller reproduction of an
+/// engine disagreement); the returned divergence is the minimized case's.
+pub fn minimize(case: &Case, threads: &[usize], max_steps: usize) -> (Case, Divergence) {
+    let _sp = atspeed_trace::span("verify.shrink");
+    minimize_with(case, |c| run_case(c, threads).err(), max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atspeed_circuit::synth::SynthSpec;
+
+    fn big_case() -> Case {
+        Case {
+            spec: SynthSpec::new("shrink", 4, 2, 4, 40, 9),
+            data_seed: 5,
+            seq_len: 10,
+            fault_cap: 30,
+        }
+    }
+
+    /// Synthetic failure: diverges iff the circuit still has ≥ 12 gates and
+    /// the sequence still has ≥ 3 vectors.
+    fn synthetic(c: &Case) -> Option<Divergence> {
+        (c.spec.num_gates >= 12 && c.seq_len >= 3).then(|| Divergence {
+            check: "synthetic",
+            detail: format!("{} gates, {} vectors", c.spec.num_gates, c.seq_len),
+        })
+    }
+
+    #[test]
+    fn descends_to_a_local_minimum() {
+        let (min, div) = minimize_with(&big_case(), synthetic, 500);
+        assert_eq!(div.check, "synthetic");
+        // The predicate's exact boundary is reached on both axes…
+        assert_eq!(min.spec.num_gates, 12);
+        assert_eq!(min.seq_len, 3);
+        // …and the axes the predicate ignores shrink all the way down.
+        assert_eq!(min.spec.num_pis, 1);
+        assert_eq!(min.spec.num_pos, 1);
+        assert_eq!(min.spec.num_ffs, 0);
+        assert_eq!(min.fault_cap, 1);
+        // Seeds survive shrinking — the case stays reproducible.
+        assert_eq!(min.spec.seed, 9);
+        assert_eq!(min.data_seed, 5);
+        // Local minimum: no candidate still fails.
+        assert!(candidates(&min).iter().all(|c| synthetic(c).is_none()));
+    }
+
+    #[test]
+    fn step_budget_bounds_the_descent() {
+        let (min, _) = minimize_with(&big_case(), synthetic, 1);
+        // One step only: at most one shrink was taken.
+        assert!(min.spec.num_gates >= 20, "{min:?}");
+    }
+
+    #[test]
+    fn returns_original_when_nothing_smaller_fails() {
+        let orig = big_case();
+        let only_orig = |c: &Case| {
+            (*c == orig).then(|| Divergence {
+                check: "synthetic",
+                detail: "original only".into(),
+            })
+        };
+        let (min, _) = minimize_with(&orig, only_orig, 500);
+        assert_eq!(min, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a failing case")]
+    fn passing_case_is_a_caller_bug() {
+        minimize_with(&big_case(), |_| None, 10);
+    }
+}
