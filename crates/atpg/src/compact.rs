@@ -58,6 +58,14 @@ pub struct OmissionConfig {
     /// reproduces the single-threaded sweep bit-for-bit; more threads
     /// speculate on upcoming omission candidates with identical results.
     pub sim: SimConfig,
+    /// Memory budget for per-sweep detection profiles: each fault's
+    /// state-diff bitmap keeps at most this many 64-bit words (cycles
+    /// `0..64 * profile_state_words`). Bits past the budget are dropped
+    /// and counted in [`OmissionStats::truncated_profile_bits`]; dropping
+    /// only *under*-claims detection, so the sweep stays sound (it keeps
+    /// vectors it might otherwise have removed, never loses coverage).
+    /// `usize::MAX` (the default) keeps every bit.
+    pub profile_state_words: usize,
 }
 
 impl Default for OmissionConfig {
@@ -67,6 +75,7 @@ impl Default for OmissionConfig {
             chunked: true,
             attempt_budget: usize::MAX,
             sim: SimConfig::default(),
+            profile_state_words: usize::MAX,
         }
     }
 }
@@ -86,6 +95,12 @@ pub struct OmissionStats {
     /// removal invalidated their snapshot. Always `0` on the serial path;
     /// the only field allowed to vary with the thread count.
     pub wasted: usize,
+    /// State-diff bits dropped from sweep profiles by
+    /// [`OmissionConfig::profile_state_words`]. The cap applies per fault
+    /// by absolute cycle index, so this count is deterministic — identical
+    /// across thread counts and partitionings, like every field but
+    /// `wasted`.
+    pub truncated_profile_bits: u64,
 }
 
 /// Omits vectors from `seq` while preserving detection of every fault in
@@ -147,6 +162,8 @@ pub fn omit_vectors(
     m.counter("omission/accepted").add(stats.accepted as u64);
     m.counter("omission/removed").add(stats.removed as u64);
     m.counter("omission/wasted").add(stats.wasted as u64);
+    m.counter("omission/truncated_profile_bits")
+        .add(stats.truncated_profile_bits);
     m.counter("omission/wall_us")
         .add(started.elapsed().as_micros() as u64);
     (out, stats)
@@ -367,7 +384,9 @@ fn omit_serial(
         // the prefix-invariance rule; this simulation counts against the
         // attempt budget.
         stats.attempts += 1;
-        let profiles = fsim.profiles(init, &current, targets, universe);
+        let (profiles, truncated) =
+            fsim.profiles_bounded(init, &current, targets, universe, cfg.profile_state_words);
+        stats.truncated_profile_bits += truncated;
         let plan = SweepPlan::new(targets, &profiles);
 
         let mut changed = false;
@@ -495,10 +514,15 @@ fn omit_parallel(
     };
     // Speculation depth: how many positions past the commit point workers
     // may simulate ahead. Deeper windows hide more latency but waste more
-    // work per accepted removal.
-    let window = (threads * 2).max(4);
+    // work per accepted removal. Long sequences have many positions per
+    // sweep and long-running attempts, so scale the depth with sequence
+    // length (capped at 8 claims per worker) to keep workers from idling
+    // at the commit barrier; short sequences keep the shallow window that
+    // bounds wasted speculation.
+    let window = (threads * 2).max(4).max((seq.len() / 32).min(threads * 8));
     let mut current = Arc::new(seq.clone());
     let mut sweeps = 0usize;
+    let mut truncated = 0u64;
 
     // Workers inherit the calling thread's stats destination; they persist
     // across every sweep so each engine (and its simulation scratch) is
@@ -523,7 +547,9 @@ fn omit_parallel(
             // Profile attempt, accounted exactly as the serial driver
             // accounts it; the profile itself is sharded across workers.
             lock(&coord.state).attempts += 1;
-            let profiles = pfsim.profiles(init, &current, targets, universe);
+            let (profiles, trunc) =
+                pfsim.profiles_bounded(init, &current, targets, universe, cfg.profile_state_words);
+            truncated += trunc;
             let plan = Arc::new(SweepPlan::new(targets, &profiles));
             let pos = positions(current.len(), chunk);
 
@@ -566,6 +592,7 @@ fn omit_parallel(
     stats.accepted = st.accepted;
     stats.wasted = st.wasted;
     stats.sweeps = sweeps;
+    stats.truncated_profile_bits = truncated;
     Arc::try_unwrap(current).unwrap_or_else(|arc| (*arc).clone())
 }
 
@@ -925,6 +952,57 @@ mod tests {
         };
         let (_, stats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, cfg);
         assert!(stats.attempts <= 3);
+    }
+
+    #[test]
+    fn bounded_profiles_keep_results_and_count_truncation() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        // A cycling input pattern, long enough that first-sweep profiles
+        // spill past one 64-bit word (random vectors tend to PO-detect
+        // every fault before cycle 64, which ends its profiling early).
+        let rows: Vec<String> = (0..80).map(|t| format!("{:04b}", t % 16)).collect();
+        let seq: Sequence = rows.iter().map(|r| parse_values(r)).collect();
+        let init = parse_values("000");
+        // The full representative set keeps scan-out-only and undetected
+        // faults in play — their state diffs run past cycle 64, where a
+        // PO-detected fault stops being profiled.
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let (full, full_stats) = omit_vectors(
+            &nl,
+            &u,
+            &init,
+            &seq,
+            &targets,
+            true,
+            OmissionConfig::default(),
+        );
+        assert_eq!(full_stats.truncated_profile_bits, 0);
+        let capped_cfg = OmissionConfig {
+            profile_state_words: 1,
+            ..OmissionConfig::default()
+        };
+        let (capped, capped_stats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, capped_cfg);
+        // Sweep planning keys on `po_detect` only, so capping the
+        // state-diff bitmaps bounds memory without changing any accept
+        // decision — the compacted sequence is identical.
+        assert_eq!(capped, full);
+        assert!(
+            capped_stats.truncated_profile_bits > 0,
+            "an 80-cycle sweep must drop bits past word 0"
+        );
+        // The truncation count is deterministic across thread counts.
+        let par_cfg = OmissionConfig {
+            profile_state_words: 1,
+            sim: SimConfig::with_threads(3),
+            ..OmissionConfig::default()
+        };
+        let (par, par_stats) = omit_vectors(&nl, &u, &init, &seq, &targets, true, par_cfg);
+        assert_eq!(par, capped);
+        assert_eq!(
+            par_stats.truncated_profile_bits,
+            capped_stats.truncated_profile_bits
+        );
     }
 
     #[test]

@@ -102,12 +102,19 @@ pub fn metrics_json_with_derived(report: &SimReport) -> String {
     } else {
         0.0
     };
+    // Peak RSS: measure at export time (the kernel high-water mark only
+    // grows, so this is the whole run's peak), falling back to whatever a
+    // binary recorded explicitly; 0 off Linux.
+    let peak_rss = atspeed_trace::rss::peak_rss_bytes()
+        .or_else(|| snapshot.gauge("process/peak_rss_bytes").map(|v| v as u64))
+        .unwrap_or(0);
     let derived = format!(
         "\"derived\":{{\"gate_evals_total\":{},\"wall_us_total\":{},\
          \"gate_evals_per_sec\":{:.1},\"partition_imbalance\":{:.3},\
          \"omission_attempts_total\":{om_attempts},\
          \"omission_wall_us\":{om_wall_us},\
-         \"omission_attempts_per_sec\":{om_rate:.1}}}",
+         \"omission_attempts_per_sec\":{om_rate:.1},\
+         \"peak_rss_bytes\":{peak_rss}}}",
         t.gate_evals,
         t.wall.as_micros(),
         if t.wall.as_secs_f64() > 0.0 {
@@ -164,6 +171,7 @@ mod tests {
         assert!(json.contains("\"gate_evals_total\":1000"));
         assert!(json.contains("\"gate_evals_per_sec\":100000.0"));
         assert!(json.contains("\"omission_attempts_per_sec\""));
+        assert!(json.contains("\"peak_rss_bytes\""));
         // Balanced braces — cheap structural sanity check.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

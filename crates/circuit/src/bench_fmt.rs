@@ -42,7 +42,25 @@ use crate::{CircuitError, GateKind, Netlist, NetlistBuilder};
 /// # Ok::<(), atspeed_circuit::CircuitError>(())
 /// ```
 pub fn parse(name: &str, text: &str) -> Result<Netlist, CircuitError> {
-    let mut b = NetlistBuilder::new(name);
+    // Counting pass: statements bound the table sizes, so the builder can
+    // reserve once instead of regrowing per line on 100k-gate netlists.
+    // Every net is introduced by exactly one statement (its driver or an
+    // INPUT line), so statement count bounds net count.
+    let mut stmts = 0usize;
+    let mut ffs = 0usize;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        stmts += 1;
+        if line.contains("DFF") || line.contains("dff") {
+            ffs += 1;
+        }
+    }
+    let mut b = NetlistBuilder::with_capacity(name, stmts, stmts.saturating_sub(ffs), ffs);
+    // One scratch buffer reused across lines; `&str` slices borrow `text`.
+    let mut args: Vec<&str> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -68,11 +86,13 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, CircuitError> {
                 return Err(err("mismatched parentheses"));
             }
             let func = rhs[..open].trim();
-            let args: Vec<&str> = rhs[open + 1..close]
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .collect();
+            args.clear();
+            args.extend(
+                rhs[open + 1..close]
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty()),
+            );
             if args.is_empty() {
                 return Err(err("gate has no inputs"));
             }
@@ -108,36 +128,48 @@ fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
 ///
 /// The output parses back ([`parse`]) to a structurally identical circuit.
 pub fn write(nl: &Netlist) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("# {}\n", nl.name()));
-    out.push_str(&format!(
-        "# {} inputs, {} outputs, {} D-type flipflops, {} gates\n",
+    use std::fmt::Write as _;
+    // ~32 bytes per statement is a comfortable upper estimate for the
+    // generated naming schemes; one reservation instead of repeated growth.
+    let stmts = nl.num_pis() + nl.num_pos() + nl.num_ffs() + nl.num_gates() + 2;
+    let mut out = String::with_capacity(stmts * 32);
+    let _ = writeln!(out, "# {}", nl.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} D-type flipflops, {} gates",
         nl.num_pis(),
         nl.num_pos(),
         nl.num_ffs(),
         nl.num_gates()
-    ));
+    );
     for &pi in nl.pis() {
-        out.push_str(&format!("INPUT({})\n", nl.net_name(pi)));
+        let _ = writeln!(out, "INPUT({})", nl.net_name(pi));
     }
     for &po in nl.pos() {
-        out.push_str(&format!("OUTPUT({})\n", nl.net_name(po)));
+        let _ = writeln!(out, "OUTPUT({})", nl.net_name(po));
     }
     for ff in nl.ffs() {
-        out.push_str(&format!(
-            "{} = DFF({})\n",
+        let _ = writeln!(
+            out,
+            "{} = DFF({})",
             nl.net_name(ff.q()),
             nl.net_name(ff.d())
-        ));
+        );
     }
     for g in nl.gates() {
-        let ins: Vec<&str> = g.inputs().iter().map(|&n| nl.net_name(n)).collect();
-        out.push_str(&format!(
-            "{} = {}({})\n",
+        let _ = write!(
+            out,
+            "{} = {}(",
             nl.net_name(g.output()),
-            g.kind().bench_name(),
-            ins.join(", ")
-        ));
+            g.kind().bench_name()
+        );
+        for (i, &n) in g.inputs().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(nl.net_name(n));
+        }
+        out.push_str(")\n");
     }
     out
 }

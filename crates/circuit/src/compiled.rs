@@ -60,11 +60,13 @@ impl CompiledCircuit {
         let num_gates = nl.num_gates();
         let num_nets = nl.num_nets();
 
+        let total_pins: usize = nl.gates().iter().map(|g| g.inputs().len()).sum();
+
         let mut kinds = Vec::with_capacity(num_gates);
         let mut outputs = Vec::with_capacity(num_gates);
         let mut gate_levels = Vec::with_capacity(num_gates);
         let mut pin_offsets = Vec::with_capacity(num_gates + 1);
-        let mut pin_nets = Vec::new();
+        let mut pin_nets = Vec::with_capacity(total_pins);
         pin_offsets.push(0u32);
         for g in nl.gates() {
             kinds.push(g.kind());
@@ -94,8 +96,10 @@ impl CompiledCircuit {
             cursor[lvl as usize] += 1;
         }
 
+        // Every gate pin contributes at most one fanout entry (duplicates
+        // to the same gate are removed), so `total_pins` is a tight bound.
         let mut fanout_offsets = Vec::with_capacity(num_nets + 1);
-        let mut fanout_gates = Vec::new();
+        let mut fanout_gates = Vec::with_capacity(total_pins);
         let mut observed = vec![false; num_nets];
         fanout_offsets.push(0u32);
         for net in nl.net_ids() {

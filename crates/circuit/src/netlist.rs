@@ -84,16 +84,26 @@ impl Ff {
 /// validates single-driver and acyclicity invariants and precomputes the
 /// levelized gate order and per-net fanout tables that the simulation and
 /// test-generation crates rely on.
+///
+/// Net names are interned once (`Arc<str>`) and fanouts live in a flat CSR
+/// table (`fanout_offsets`/`fanout_sinks`), so a 100k-gate netlist costs a
+/// handful of large allocations rather than one small allocation per net.
 #[derive(Debug, Clone)]
 pub struct Netlist {
     name: String,
-    net_names: Vec<String>,
+    net_names: Vec<Arc<str>>,
+    // Net indices sorted by name; `find_net` binary-searches this instead
+    // of scanning `net_names` linearly.
+    name_index: Vec<u32>,
     drivers: Vec<Driver>,
     gates: Vec<Gate>,
     ffs: Vec<Ff>,
     pis: Vec<NetId>,
     pos: Vec<NetId>,
-    fanouts: Vec<Vec<Sink>>,
+    // Fanout CSR: sinks of net `n` are
+    // `fanout_sinks[fanout_offsets[n]..fanout_offsets[n + 1]]`.
+    fanout_offsets: Vec<u32>,
+    fanout_sinks: Vec<Sink>,
     topo: Vec<GateId>,
     levels: Vec<u32>,
     max_level: u32,
@@ -184,21 +194,24 @@ impl Netlist {
     /// The consumers of a net (gate pins, FF data inputs, primary outputs).
     #[inline]
     pub fn fanouts(&self, net: NetId) -> &[Sink] {
-        &self.fanouts[net.index()]
+        let i = net.index();
+        let lo = self.fanout_offsets[i] as usize;
+        let hi = self.fanout_offsets[i + 1] as usize;
+        &self.fanout_sinks[lo..hi]
     }
 
     /// The source name of a net.
     #[inline]
     pub fn net_name(&self, net: NetId) -> &str {
-        &self.net_names[net.index()]
+        self.net_names[net.index()].as_ref()
     }
 
-    /// Looks a net up by name.
+    /// Looks a net up by name in `O(log n)`.
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.net_names
-            .iter()
-            .position(|n| n == name)
-            .map(NetId::from_index)
+        self.name_index
+            .binary_search_by(|&i| self.net_names[i as usize].as_ref().cmp(name))
+            .ok()
+            .map(|pos| NetId::from_index(self.name_index[pos] as usize))
     }
 
     /// Gates in a topological order of the combinational core: every gate
@@ -259,13 +272,18 @@ enum PendingDriver {
 ///
 /// Statements may arrive in any order; names are resolved and the circuit is
 /// validated by [`NetlistBuilder::finish`].
+///
+/// Besides the name-based methods, the builder exposes an id-based API
+/// ([`NetlistBuilder::net`], [`NetlistBuilder::gate_nets`], ...) so bulk
+/// producers — the `.bench` parser, the synthetic generator — can intern
+/// each name exactly once and refer to it by index afterwards.
 #[derive(Debug, Clone)]
 pub struct NetlistBuilder {
     name: String,
-    net_ids: HashMap<String, usize>,
-    net_names: Vec<String>,
+    net_ids: HashMap<Arc<str>, usize>,
+    net_names: Vec<Arc<str>>,
     pending: Vec<PendingDriver>,
-    gates: Vec<(GateKind, Vec<usize>, usize)>,
+    gates: Vec<Gate>,
     ffs: Vec<(usize, usize)>,
     pis: Vec<usize>,
     pos: Vec<usize>,
@@ -288,13 +306,27 @@ impl NetlistBuilder {
         }
     }
 
+    /// Creates a builder with pre-reserved tables, avoiding rehash/regrow
+    /// churn when the caller knows the circuit size up front (the parser
+    /// counts statements; the generator knows its spec).
+    pub fn with_capacity(name: impl Into<String>, nets: usize, gates: usize, ffs: usize) -> Self {
+        let mut b = NetlistBuilder::new(name);
+        b.net_ids.reserve(nets);
+        b.net_names.reserve(nets);
+        b.pending.reserve(nets);
+        b.gates.reserve(gates);
+        b.ffs.reserve(ffs);
+        b
+    }
+
     fn intern(&mut self, name: &str) -> usize {
         if let Some(&id) = self.net_ids.get(name) {
             return id;
         }
         let id = self.net_names.len();
-        self.net_ids.insert(name.to_owned(), id);
-        self.net_names.push(name.to_owned());
+        let shared: Arc<str> = Arc::from(name);
+        self.net_ids.insert(Arc::clone(&shared), id);
+        self.net_names.push(shared);
         self.pending.push(PendingDriver::None);
         id
     }
@@ -303,13 +335,25 @@ impl NetlistBuilder {
         if matches!(self.pending[net], PendingDriver::None) {
             self.pending[net] = driver;
         } else if self.duplicate.is_none() {
-            self.duplicate = Some(self.net_names[net].clone());
+            self.duplicate = Some(self.net_names[net].to_string());
         }
+    }
+
+    /// Interns `name` and returns its dense net index for use with the
+    /// id-based builder methods. Calling it twice with the same name
+    /// returns the same index.
+    pub fn net(&mut self, name: &str) -> usize {
+        self.intern(name)
     }
 
     /// Declares a primary input net.
     pub fn input(&mut self, name: &str) -> &mut Self {
         let net = self.intern(name);
+        self.input_net(net)
+    }
+
+    /// Id-based form of [`NetlistBuilder::input`].
+    pub fn input_net(&mut self, net: usize) -> &mut Self {
         let idx = self.pis.len();
         self.pis.push(net);
         self.set_driver(net, PendingDriver::Pi(idx));
@@ -319,6 +363,11 @@ impl NetlistBuilder {
     /// Declares a primary output net (the net must be driven elsewhere).
     pub fn output(&mut self, name: &str) -> &mut Self {
         let net = self.intern(name);
+        self.output_net(net)
+    }
+
+    /// Id-based form of [`NetlistBuilder::output`].
+    pub fn output_net(&mut self, net: usize) -> &mut Self {
         self.pos.push(net);
         self
     }
@@ -326,9 +375,26 @@ impl NetlistBuilder {
     /// Declares a gate driving `output` from `inputs`.
     pub fn gate(&mut self, kind: GateKind, output: &str, inputs: &[&str]) -> &mut Self {
         let out = self.intern(output);
-        let ins: Vec<usize> = inputs.iter().map(|n| self.intern(n)).collect();
+        let ins: Vec<NetId> = inputs
+            .iter()
+            .map(|n| NetId::from_index(self.intern(n)))
+            .collect();
+        self.push_gate(kind, out, ins)
+    }
+
+    /// Id-based form of [`NetlistBuilder::gate`].
+    pub fn gate_nets(&mut self, kind: GateKind, output: usize, inputs: &[usize]) -> &mut Self {
+        let ins: Vec<NetId> = inputs.iter().map(|&i| NetId::from_index(i)).collect();
+        self.push_gate(kind, output, ins)
+    }
+
+    fn push_gate(&mut self, kind: GateKind, out: usize, inputs: Vec<NetId>) -> &mut Self {
         let idx = self.gates.len();
-        self.gates.push((kind, ins, out));
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            output: NetId::from_index(out),
+        });
         self.set_driver(out, PendingDriver::Gate(idx));
         self
     }
@@ -337,9 +403,14 @@ impl NetlistBuilder {
     pub fn dff(&mut self, q: &str, d: &str) -> &mut Self {
         let qn = self.intern(q);
         let dn = self.intern(d);
+        self.dff_nets(qn, dn)
+    }
+
+    /// Id-based form of [`NetlistBuilder::dff`].
+    pub fn dff_nets(&mut self, q: usize, d: usize) -> &mut Self {
         let idx = self.ffs.len();
-        self.ffs.push((dn, qn));
-        self.set_driver(qn, PendingDriver::Ff(idx));
+        self.ffs.push((d, q));
+        self.set_driver(q, PendingDriver::Ff(idx));
         self
     }
 
@@ -363,7 +434,7 @@ impl NetlistBuilder {
             let d = match pd {
                 PendingDriver::None => {
                     return Err(CircuitError::Undriven {
-                        net: self.net_names[i].clone(),
+                        net: self.net_names[i].to_string(),
                     })
                 }
                 PendingDriver::Pi(k) => Driver::Pi(*k),
@@ -373,19 +444,11 @@ impl NetlistBuilder {
             drivers.push(d);
         }
 
-        let gates: Vec<Gate> = self
-            .gates
-            .iter()
-            .map(|(kind, ins, out)| Gate {
-                kind: *kind,
-                inputs: ins.iter().map(|&i| NetId::from_index(i)).collect(),
-                output: NetId::from_index(*out),
-            })
-            .collect();
+        let gates = self.gates;
         for g in &gates {
             if !g.kind.accepts_fanin(g.inputs.len()) {
                 return Err(CircuitError::BadFanin {
-                    net: self.net_names[g.output.index()].clone(),
+                    net: self.net_names[g.output.index()].to_string(),
                     got: g.inputs.len(),
                 });
             }
@@ -399,22 +462,53 @@ impl NetlistBuilder {
             })
             .collect();
 
-        // Fanout tables.
-        let mut fanouts: Vec<Vec<Sink>> = vec![Vec::new(); n];
+        // Fanout CSR, filled by counting sort. Emission order matches the
+        // historical per-net append order (gates by id in pin order, then
+        // flip-flop D pins, then primary outputs), which downstream
+        // compilation relies on for adjacent-duplicate elimination.
+        let mut fanout_offsets = vec![0u32; n + 1];
+        for g in &gates {
+            for input in &g.inputs {
+                fanout_offsets[input.index() + 1] += 1;
+            }
+        }
+        for ff in &ffs {
+            fanout_offsets[ff.d.index() + 1] += 1;
+        }
+        for &po in &self.pos {
+            fanout_offsets[po + 1] += 1;
+        }
+        for i in 0..n {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let total_sinks = fanout_offsets[n] as usize;
+        let mut fanout_sinks = vec![Sink::Po(PoId::from_index(0)); total_sinks];
+        let mut cursor = fanout_offsets.clone();
+        let mut place = |net: usize, sink: Sink, cursor: &mut [u32]| {
+            fanout_sinks[cursor[net] as usize] = sink;
+            cursor[net] += 1;
+        };
         for (gi, g) in gates.iter().enumerate() {
             for (pin, &input) in g.inputs.iter().enumerate() {
-                fanouts[input.index()].push(Sink::GatePin(
-                    GateId::from_index(gi),
-                    u8::try_from(pin).expect("gate fanin exceeds 255"),
-                ));
+                place(
+                    input.index(),
+                    Sink::GatePin(
+                        GateId::from_index(gi),
+                        u8::try_from(pin).expect("gate fanin exceeds 255"),
+                    ),
+                    &mut cursor,
+                );
             }
         }
         for (fi, ff) in ffs.iter().enumerate() {
-            fanouts[ff.d.index()].push(Sink::FfD(FfId::from_index(fi)));
+            place(ff.d.index(), Sink::FfD(FfId::from_index(fi)), &mut cursor);
         }
         for (pi, &po) in self.pos.iter().enumerate() {
-            fanouts[po].push(Sink::Po(PoId::from_index(pi)));
+            place(po, Sink::Po(PoId::from_index(pi)), &mut cursor);
         }
+        let sinks_of = |net: usize| {
+            &fanout_sinks[fanout_offsets[net] as usize..fanout_offsets[net + 1] as usize]
+        };
 
         // Kahn's algorithm over gates; PIs and FF outputs are sources.
         let mut indeg: Vec<usize> = gates
@@ -426,19 +520,21 @@ impl NetlistBuilder {
                     .count()
             })
             .collect();
-        let mut queue: Vec<GateId> = indeg
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d == 0)
-            .map(|(i, _)| GateId::from_index(i))
-            .collect();
+        let mut queue: Vec<GateId> = Vec::with_capacity(gates.len());
+        queue.extend(
+            indeg
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d == 0)
+                .map(|(i, _)| GateId::from_index(i)),
+        );
         let mut topo = Vec::with_capacity(gates.len());
         let mut head = 0;
         while head < queue.len() {
             let gid = queue[head];
             head += 1;
             topo.push(gid);
-            for sink in &fanouts[gates[gid.index()].output.index()] {
+            for sink in sinks_of(gates[gid.index()].output.index()) {
                 if let Sink::GatePin(consumer, _) = sink {
                     let ci = consumer.index();
                     indeg[ci] -= 1;
@@ -454,7 +550,7 @@ impl NetlistBuilder {
                 .position(|&d| d > 0)
                 .expect("cycle implies positive in-degree");
             return Err(CircuitError::CombinationalCycle {
-                net: self.net_names[gates[on_cycle].output.index()].clone(),
+                net: self.net_names[gates[on_cycle].output.index()].to_string(),
             });
         }
 
@@ -473,15 +569,21 @@ impl NetlistBuilder {
             max_level = max_level.max(lvl);
         }
 
+        let mut name_index: Vec<u32> = (0..u32::try_from(n).expect("net count overflow")).collect();
+        let net_names = self.net_names;
+        name_index.sort_unstable_by(|&a, &b| net_names[a as usize].cmp(&net_names[b as usize]));
+
         Ok(Netlist {
             name: self.name,
-            net_names: self.net_names,
+            net_names,
+            name_index,
             drivers,
             gates,
             ffs,
             pis: self.pis.into_iter().map(NetId::from_index).collect(),
             pos: self.pos.into_iter().map(NetId::from_index).collect(),
-            fanouts,
+            fanout_offsets,
+            fanout_sinks,
             topo,
             levels,
             max_level,
@@ -528,6 +630,33 @@ mod tests {
         assert!(matches!(nl.fanouts(d)[0], Sink::FfD(_)));
         let y = nl.find_net("y").unwrap();
         assert!(matches!(nl.fanouts(y)[0], Sink::Po(_)));
+    }
+
+    #[test]
+    fn id_based_api_matches_name_based_api() {
+        let by_name = toy();
+        let mut b = NetlistBuilder::with_capacity("toy", 5, 2, 1);
+        let a = b.net("a");
+        let bb = b.net("b");
+        let q = b.net("q");
+        let d = b.net("d");
+        let y = b.net("y");
+        b.input_net(a);
+        b.input_net(bb);
+        b.dff_nets(q, d);
+        b.gate_nets(GateKind::And, d, &[a, q]);
+        b.gate_nets(GateKind::Xor, y, &[bb, q]);
+        b.output_net(y);
+        let by_id = b.finish().unwrap();
+        assert_eq!(by_id.num_nets(), by_name.num_nets());
+        assert_eq!(by_id.gates(), by_name.gates());
+        assert_eq!(by_id.ffs(), by_name.ffs());
+        assert_eq!(by_id.pis(), by_name.pis());
+        assert_eq!(by_id.pos(), by_name.pos());
+        for net in by_name.net_ids() {
+            assert_eq!(by_id.net_name(net), by_name.net_name(net));
+            assert_eq!(by_id.fanouts(net), by_name.fanouts(net));
+        }
     }
 
     #[test]
@@ -622,5 +751,23 @@ mod tests {
         assert!(nl.find_net("nope").is_none());
         let a = nl.find_net("a").unwrap();
         assert_eq!(nl.net_name(a), "a");
+    }
+
+    #[test]
+    fn find_net_resolves_every_name_on_a_larger_circuit() {
+        let mut b = NetlistBuilder::new("many");
+        b.input("a");
+        let mut prev = "a".to_owned();
+        for i in 0..200 {
+            let name = format!("n{i}");
+            b.gate(GateKind::Not, &name, &[&prev]);
+            prev = name;
+        }
+        b.output(&prev);
+        let nl = b.finish().unwrap();
+        for net in nl.net_ids() {
+            assert_eq!(nl.find_net(nl.net_name(net)), Some(net));
+        }
+        assert!(nl.find_net("absent").is_none());
     }
 }

@@ -37,12 +37,24 @@ pub struct SynthSpec {
     pub num_ffs: usize,
     /// Number of combinational gates (must be ≥ `num_pos + num_ffs`).
     pub num_gates: usize,
+    /// Target combinational depth. `0` selects the legacy pool-based
+    /// generator (bit-for-bit identical output to before this field
+    /// existed); any positive value selects the layered generator, which
+    /// distributes the gates over roughly this many levels and scales to
+    /// 100k+-gate circuits.
+    pub layers: usize,
+    /// Number of high-fanout hub nets (layered generator only). `0` keeps
+    /// fanout roughly uniform; a positive value promotes this many evenly
+    /// spaced gate outputs into a hub set that input selection draws from
+    /// preferentially, producing the long-tailed fanout distribution of
+    /// real netlists.
+    pub fanout_hubs: usize,
     /// RNG seed; equal specs generate identical circuits.
     pub seed: u64,
 }
 
 impl SynthSpec {
-    /// Convenience constructor.
+    /// Convenience constructor (legacy, non-layered generator).
     pub fn new(
         name: impl Into<String>,
         num_pis: usize,
@@ -57,8 +69,24 @@ impl SynthSpec {
             num_pos,
             num_ffs,
             num_gates,
+            layers: 0,
+            fanout_hubs: 0,
             seed,
         }
+    }
+
+    /// Returns the spec with a target combinational depth, switching to the
+    /// layered generator (see [`SynthSpec::layers`]).
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Returns the spec with a hub count for the layered generator's fanout
+    /// distribution (see [`SynthSpec::fanout_hubs`]).
+    pub fn with_fanout_hubs(mut self, hubs: usize) -> Self {
+        self.fanout_hubs = hubs;
+        self
     }
 
     /// Whether the spec satisfies the generator's structural constraints
@@ -109,6 +137,18 @@ impl SynthSpec {
                 consider(with(&|s| s.num_pos = pos));
             }
         }
+        // Shrinking `layers` to 0 falls back to the legacy generator, which
+        // is still a valid (and simpler) circuit for the same counts.
+        for layers in [self.layers / 2, self.layers.saturating_sub(1)] {
+            if layers < self.layers {
+                consider(with(&|s| s.layers = layers));
+            }
+        }
+        for hubs in [self.fanout_hubs / 2, self.fanout_hubs.saturating_sub(1)] {
+            if hubs < self.fanout_hubs {
+                consider(with(&|s| s.fanout_hubs = hubs));
+            }
+        }
         out
     }
 }
@@ -132,6 +172,9 @@ impl SynthSpec {
 /// # Ok::<(), atspeed_circuit::CircuitError>(())
 /// ```
 pub fn generate(spec: &SynthSpec) -> Result<Netlist, CircuitError> {
+    if spec.layers > 0 {
+        return generate_layered(spec);
+    }
     let mut rng = StdRng::seed_from_u64(spec.seed ^ mix_seed(spec));
     let mut b = NetlistBuilder::new(spec.name.clone());
 
@@ -294,8 +337,220 @@ pub fn generate(spec: &SynthSpec) -> Result<Netlist, CircuitError> {
     b.finish()
 }
 
+/// The layered generator behind [`generate`] for `spec.layers > 0`.
+///
+/// Where the legacy generator keeps a growing pool of net *names* and
+/// re-interns every connection, this path works purely on dense net
+/// indices through the builder's id-based API, interning each name exactly
+/// once, and pre-reserves every table — generating a 100k-gate circuit is
+/// a few large allocations, not hundreds of thousands of small ones.
+///
+/// Structure: the `num_gates` random-logic gates are dealt across
+/// `spec.layers` layers. Each gate draws its inputs preferentially from
+/// the immediately preceding layer (so combinational depth tracks the
+/// layer count), sometimes from a hub set (producing a long-tailed fanout
+/// distribution when `fanout_hubs > 0`), and otherwise uniformly from
+/// everything earlier. The structural guarantees match the legacy path:
+/// acyclic by construction, every flip-flop D input goes through an
+/// AND/OR-class gate with a primary-input pin (initializability), and
+/// unconsumed outputs are absorbed into an observation XOR tree.
+fn generate_layered(spec: &SynthSpec) -> Result<Netlist, CircuitError> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ mix_seed(spec));
+    // Observation-tree gates are bounded by unconsumed/3 + 1 per 4-ary
+    // round; half the gate count is a comfortable overestimate.
+    let extra = spec.num_gates / 2 + spec.num_pos + spec.num_ffs + 4;
+    let est_nets = spec.num_pis + 2 * spec.num_ffs + spec.num_gates + extra;
+    let mut b = NetlistBuilder::with_capacity(
+        spec.name.clone(),
+        est_nets,
+        spec.num_gates + extra,
+        spec.num_ffs,
+    );
+
+    let pi_ids: Vec<usize> = (0..spec.num_pis)
+        .map(|i| b.net(&format!("pi{i}")))
+        .collect();
+    for &id in &pi_ids {
+        b.input_net(id);
+    }
+    let q_ids: Vec<usize> = (0..spec.num_ffs).map(|i| b.net(&format!("q{i}"))).collect();
+    let d_ids: Vec<usize> = (0..spec.num_ffs).map(|i| b.net(&format!("d{i}"))).collect();
+    for i in 0..spec.num_ffs {
+        b.dff_nets(q_ids[i], d_ids[i]);
+    }
+
+    // `all[k]` is the builder net id of the k-th available source: PIs and
+    // FF outputs first, then gate outputs as they are created (guaranteeing
+    // acyclicity). Gate `gi` sits at `all[n_sources + gi]`.
+    let n_sources = spec.num_pis + spec.num_ffs;
+    let mut all: Vec<usize> = Vec::with_capacity(n_sources + spec.num_gates);
+    all.extend(pi_ids.iter().chain(q_ids.iter()).copied());
+    let mut source_used = vec![false; n_sources];
+    let mut consumed = vec![0u32; spec.num_gates];
+    // Hub set: indices into `all` that input selection draws from
+    // preferentially. Seeded with one source so layer-0 gates also see it.
+    let mut hubs: Vec<usize> = Vec::with_capacity(spec.fanout_hubs.min(spec.num_gates) + 1);
+    if spec.fanout_hubs > 0 {
+        hubs.push(rng.gen_range(0..n_sources));
+    }
+
+    let layers = spec.layers.clamp(1, spec.num_gates.max(1));
+    let mut ins: Vec<usize> = Vec::with_capacity(4);
+    let mut in_ids: Vec<usize> = Vec::with_capacity(4);
+    let mut layer_lo = 0usize; // span of the previous layer within `all`
+    let mut layer_hi = n_sources;
+    let mut gi = 0usize;
+    for l in 0..layers {
+        // Deal the gates evenly; earlier layers take the remainder.
+        let count = spec.num_gates / layers + usize::from(l < spec.num_gates % layers);
+        let built_lo = all.len();
+        for _ in 0..count {
+            let kind = pick_kind(&mut rng);
+            let fanin = match kind {
+                GateKind::Not | GateKind::Buf => 1,
+                GateKind::Xor | GateKind::Xnor => 2,
+                _ => {
+                    if rng.gen_bool(0.2) {
+                        3
+                    } else {
+                        2
+                    }
+                }
+            };
+            ins.clear();
+            for _ in 0..fanin {
+                let r = rng.gen_range(0..100u32);
+                let idx = if r < 55 && layer_hi > layer_lo {
+                    // Previous layer: keeps depth tracking the layer count.
+                    rng.gen_range(layer_lo..layer_hi)
+                } else if r < 75 && !hubs.is_empty() {
+                    hubs[rng.gen_range(0..hubs.len())]
+                } else {
+                    rng.gen_range(0..all.len())
+                };
+                if !ins.contains(&idx) {
+                    ins.push(idx);
+                }
+            }
+            if ins.is_empty() {
+                ins.push(rng.gen_range(0..all.len()));
+            }
+            let kind = if ins.len() == 1 {
+                if rng.gen_bool(0.5) {
+                    GateKind::Not
+                } else {
+                    GateKind::Buf
+                }
+            } else {
+                kind
+            };
+            for &idx in &ins {
+                if idx >= n_sources {
+                    consumed[idx - n_sources] += 1;
+                } else {
+                    source_used[idx] = true;
+                }
+            }
+            in_ids.clear();
+            in_ids.extend(ins.iter().map(|&idx| all[idx]));
+            let out = b.net(&format!("w{gi}"));
+            b.gate_nets(kind, out, &in_ids);
+            // Promote evenly spaced gate outputs into the hub set, ending
+            // with exactly `fanout_hubs` hubs spread across all layers.
+            if spec.fanout_hubs > 0
+                && gi * spec.fanout_hubs / spec.num_gates
+                    != (gi + 1) * spec.fanout_hubs / spec.num_gates
+            {
+                hubs.push(all.len());
+            }
+            all.push(out);
+            gi += 1;
+        }
+        layer_lo = built_lo;
+        layer_hi = all.len();
+    }
+    debug_assert_eq!(gi, spec.num_gates);
+
+    // Wire FF D inputs and primary outputs from so-far-unconsumed gate
+    // outputs, exactly as the legacy generator does (see its comments for
+    // the initializability rationale).
+    let mut unconsumed: Vec<usize> = (0..spec.num_gates)
+        .rev()
+        .filter(|&gi| consumed[gi] == 0)
+        .collect();
+    let take = |rng: &mut StdRng, unconsumed: &mut Vec<usize>| -> usize {
+        if let Some(gi) = unconsumed.pop() {
+            gi
+        } else {
+            let lo = spec.num_gates.saturating_sub(1 + spec.num_gates / 3);
+            rng.gen_range(lo..spec.num_gates)
+        }
+    };
+    for i in 0..spec.num_ffs {
+        if spec.num_gates == 0 {
+            let src = pi_ids[i % spec.num_pis];
+            b.gate_nets(GateKind::Buf, d_ids[i], &[src]);
+            continue;
+        }
+        let gi = take(&mut rng, &mut unconsumed);
+        let pi = pi_ids[rng.gen_range(0..spec.num_pis)];
+        let kind = match rng.gen_range(0..4) {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            _ => GateKind::Nor,
+        };
+        b.gate_nets(kind, d_ids[i], &[all[n_sources + gi], pi]);
+    }
+    let mut po_sources: Vec<usize> = Vec::with_capacity(spec.num_pos);
+    for _ in 0..spec.num_pos {
+        let src = if spec.num_gates == 0 {
+            pi_ids[0]
+        } else {
+            all[n_sources + take(&mut rng, &mut unconsumed)]
+        };
+        po_sources.push(src);
+    }
+    let unused_sources: Vec<usize> = (0..n_sources)
+        .filter(|&i| !source_used[i])
+        .map(|i| all[i])
+        .collect();
+    if (!unconsumed.is_empty() || !unused_sources.is_empty()) && spec.num_pos > 0 {
+        let mut obs_inputs: Vec<usize> =
+            Vec::with_capacity(1 + unconsumed.len() + unused_sources.len());
+        obs_inputs.push(po_sources[0]);
+        obs_inputs.extend(unconsumed.drain(..).map(|gi| all[n_sources + gi]));
+        obs_inputs.extend(unused_sources);
+        let mut level = 0usize;
+        while obs_inputs.len() > 1 {
+            let mut next = Vec::with_capacity(obs_inputs.len().div_ceil(4));
+            for (ci, chunk) in obs_inputs.chunks(4).enumerate() {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                    continue;
+                }
+                let out = b.net(&format!("obs{level}_{ci}"));
+                b.gate_nets(GateKind::Xor, out, chunk);
+                next.push(out);
+            }
+            obs_inputs = next;
+            level += 1;
+        }
+        po_sources[0] = obs_inputs.pop().expect("reduction leaves one net");
+    }
+    for (i, &src) in po_sources.iter().enumerate() {
+        let out = b.net(&format!("po{i}"));
+        b.gate_nets(GateKind::Buf, out, &[src]);
+        b.output_net(out);
+    }
+
+    b.finish()
+}
+
 // Mix the structural parameters into the seed so that two specs differing
-// only in, say, gate count do not share a prefix of random decisions.
+// only in, say, gate count do not share a prefix of random decisions. The
+// layered parameters are mixed in only when set, so legacy specs keep
+// their historical random streams.
 fn mix_seed(spec: &SynthSpec) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &x in &[
@@ -306,6 +561,12 @@ fn mix_seed(spec: &SynthSpec) -> u64 {
     ] {
         h ^= x;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if spec.layers > 0 || spec.fanout_hubs > 0 {
+        for &x in &[spec.layers as u64, spec.fanout_hubs as u64] {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
     }
     h
 }
@@ -415,26 +676,111 @@ mod tests {
 
     #[test]
     fn shrink_candidates_are_valid_and_strictly_smaller() {
-        let base = spec();
-        let size = |s: &SynthSpec| s.num_pis + s.num_pos + s.num_ffs + s.num_gates;
-        let candidates = base.shrink_candidates();
-        assert!(!candidates.is_empty());
-        for c in &candidates {
-            assert!(c.is_valid(), "{c:?}");
-            assert!(size(c) < size(&base), "{c:?} is not smaller");
-            assert_eq!(c.seed, base.seed, "shrinking must not change the seed");
-            generate(c).expect("every shrink candidate generates");
-        }
-        // Shrinking terminates: repeated first-candidate steps reach a spec
-        // with no candidates.
-        let mut cur = base;
-        for _ in 0..10_000 {
-            match cur.shrink_candidates().into_iter().next() {
-                Some(next) => cur = next,
-                None => break,
+        let size = |s: &SynthSpec| {
+            s.num_pis + s.num_pos + s.num_ffs + s.num_gates + s.layers + s.fanout_hubs
+        };
+        for base in [spec(), spec().with_layers(6).with_fanout_hubs(3)] {
+            let candidates = base.shrink_candidates();
+            assert!(!candidates.is_empty());
+            for c in &candidates {
+                assert!(c.is_valid(), "{c:?}");
+                assert!(size(c) < size(&base), "{c:?} is not smaller");
+                assert_eq!(c.seed, base.seed, "shrinking must not change the seed");
+                generate(c).expect("every shrink candidate generates");
             }
+            // Shrinking terminates: repeated first-candidate steps reach a
+            // spec with no candidates.
+            let mut cur = base;
+            for _ in 0..10_000 {
+                match cur.shrink_candidates().into_iter().next() {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            assert!(cur.shrink_candidates().is_empty(), "stuck at {cur:?}");
         }
-        assert!(cur.shrink_candidates().is_empty(), "stuck at {cur:?}");
+    }
+
+    #[test]
+    fn layered_mode_respects_interface_counts_and_depth() {
+        let s = spec().with_layers(12);
+        let nl = generate(&s).unwrap();
+        assert_eq!(nl.num_pis(), 4);
+        assert_eq!(nl.num_pos(), 3);
+        assert_eq!(nl.num_ffs(), 6);
+        assert!(nl.num_gates() >= 60);
+        // Depth tracks the layer count (inputs are only *biased* to the
+        // previous layer, so allow slack below the target).
+        assert!(
+            nl.max_level() as usize >= 12 / 2,
+            "max level {} too shallow for 12 layers",
+            nl.max_level()
+        );
+    }
+
+    #[test]
+    fn layered_mode_is_deterministic_and_seed_sensitive() {
+        let s = spec().with_layers(8).with_fanout_hubs(4);
+        let a = generate(&s).unwrap();
+        let b = generate(&s).unwrap();
+        assert_eq!(a.num_nets(), b.num_nets());
+        assert!(a.gates().iter().zip(b.gates().iter()).all(|(x, y)| x == y));
+        let mut s2 = s.clone();
+        s2.seed ^= 1;
+        let c = generate(&s2).unwrap();
+        let same = a.num_nets() == c.num_nets()
+            && a.gates().iter().zip(c.gates().iter()).all(|(x, y)| x == y);
+        assert!(!same, "different seeds produced identical layered circuits");
+    }
+
+    #[test]
+    fn layered_mode_keeps_structural_guarantees() {
+        let nl = generate(&spec().with_layers(10).with_fanout_hubs(5)).unwrap();
+        for ff in nl.ffs() {
+            assert!(matches!(nl.driver(ff.d()), Driver::Gate(_)));
+            assert!(!nl.fanouts(ff.q()).is_empty());
+        }
+        for g in nl.gates() {
+            let observable = !nl.fanouts(g.output()).is_empty() || nl.pos().contains(&g.output());
+            assert!(observable, "gate output {:?} is dead", g.output());
+        }
+    }
+
+    #[test]
+    fn fanout_hubs_skew_the_fanout_distribution() {
+        let uniform = generate(&SynthSpec::new("h", 6, 2, 8, 400, 9).with_layers(10)).unwrap();
+        let hubby = generate(
+            &SynthSpec::new("h", 6, 2, 8, 400, 9)
+                .with_layers(10)
+                .with_fanout_hubs(4),
+        )
+        .unwrap();
+        let max_fanout =
+            |nl: &crate::Netlist| nl.net_ids().map(|n| nl.fanouts(n).len()).max().unwrap();
+        assert!(
+            max_fanout(&hubby) > 2 * max_fanout(&uniform),
+            "hubs {} vs uniform {}",
+            max_fanout(&hubby),
+            max_fanout(&uniform)
+        );
+    }
+
+    #[test]
+    fn legacy_mode_is_unchanged_by_the_layered_fields() {
+        // `layers == 0` must keep the historical random stream: the golden
+        // fingerprint below was computed before the layered generator
+        // existed and must never change.
+        let nl = generate(&spec()).unwrap();
+        let fp: usize = nl
+            .gates()
+            .iter()
+            .map(|g| g.inputs().iter().map(|n| n.index()).sum::<usize>() + g.output().index())
+            .sum();
+        assert_eq!(
+            (nl.num_nets(), nl.num_gates(), fp),
+            (83, 73, 7800),
+            "legacy generator output drifted"
+        );
     }
 
     #[test]

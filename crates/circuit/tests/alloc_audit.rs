@@ -1,0 +1,81 @@
+//! Allocation audit for the `.bench` parser and `CompiledCircuit` build.
+//!
+//! Integration tests get their own binary, so installing a counting global
+//! allocator here observes only this file's work. The test pins the
+//! allocation count per gate for parse → build → compile of a large
+//! synthetic netlist, which is the regression guard for the reservation and
+//! name-interning work (see DESIGN.md "Scaling").
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use atspeed_circuit::bench_fmt;
+use atspeed_circuit::synth::{generate, SynthSpec};
+use atspeed_circuit::CompiledCircuit;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn parse_and_compile_allocations_stay_bounded() {
+    let spec = SynthSpec::new("audit", 32, 16, 64, 10_000, 11);
+    let nl = generate(&spec).unwrap();
+    let text = bench_fmt::write(&nl);
+    let gates = nl.num_gates() as u64;
+
+    let (parsed, parse_allocs) = count(|| bench_fmt::parse("audit", &text).unwrap());
+    let (_cc, compile_allocs) = count(|| CompiledCircuit::compile(&parsed));
+
+    let per_gate_parse = parse_allocs as f64 / gates as f64;
+    let per_gate_compile = compile_allocs as f64 / gates as f64;
+    eprintln!(
+        "gates={gates} parse_allocs={parse_allocs} ({per_gate_parse:.2}/gate) \
+         compile_allocs={compile_allocs} ({per_gate_compile:.2}/gate)"
+    );
+
+    // Bounds chosen with ~50% headroom over the measured counts after the
+    // reservation/interning work (3.01/gate parse, 16 total compile; the
+    // pre-refactor code measured 7.15/gate and 42); see DESIGN.md "Scaling".
+    assert!(
+        per_gate_parse < 4.5,
+        "parser allocates {per_gate_parse:.2} per gate"
+    );
+    // Debug builds run the allocating field-by-field validator inside
+    // `compile` (`debug_assert_eq!(cc.validate(nl), ..)`), so the flat
+    // ceiling only holds without debug assertions; under them, bound the
+    // validator's per-gate cost instead (measured 1.11/gate).
+    #[cfg(not(debug_assertions))]
+    assert!(
+        compile_allocs < 64,
+        "compile allocates {compile_allocs} times"
+    );
+    #[cfg(debug_assertions)]
+    assert!(
+        per_gate_compile < 2.0,
+        "compile+validate allocates {per_gate_compile:.2} per gate"
+    );
+}

@@ -47,7 +47,7 @@ impl Default for IterateConfig {
                 max_passes: 1,
                 chunked: true,
                 attempt_budget: 160,
-                sim: Default::default(),
+                ..OmissionConfig::default()
             },
             max_iterations: Some(4),
         }

@@ -37,6 +37,38 @@ pub struct StaticCompactionStats {
     /// consumed test are purged on every accepted combination, so this is
     /// bounded by `live·(live−1)` for `live` surviving tests.
     pub failed_pairs: usize,
+    /// Verdicts *not* memoized because the cache was at
+    /// [`CombineConfig::max_failed_pairs`]. The memo only skips
+    /// re-simulation, so dropping entries trades attempts for memory — the
+    /// final test set is unchanged.
+    pub failed_pairs_dropped: usize,
+}
+
+/// Configuration for [`combine_tests_cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombineConfig {
+    /// Transfer-sequence insertion (\[7\]); `None` disables it.
+    pub transfer: Option<TransferConfig>,
+    /// Threading for the coverage checks.
+    pub sim: SimConfig,
+    /// Upper bound on failed-pair memo entries. The memo exists only to
+    /// skip re-simulating pairs already known not to combine; once full,
+    /// further verdicts are dropped (counted in
+    /// [`StaticCompactionStats::failed_pairs_dropped`]) and those pairs are
+    /// simply re-checked on later sweeps. Results are identical at any cap;
+    /// only `attempts` can grow. The default (2^20 entries, 16 MiB of keys
+    /// and versions) covers a ~1000-test set without dropping anything.
+    pub max_failed_pairs: usize,
+}
+
+impl Default for CombineConfig {
+    fn default() -> Self {
+        CombineConfig {
+            transfer: None,
+            sim: SimConfig::default(),
+            max_failed_pairs: 1 << 20,
+        }
+    }
 }
 
 /// Configuration for transfer-sequence insertion, the improvement of the
@@ -105,12 +137,35 @@ pub fn combine_tests_sim(
     transfer: Option<TransferConfig>,
     sim: SimConfig,
 ) -> (TestSet, StaticCompactionStats) {
+    combine_tests_cfg(
+        nl,
+        universe,
+        set,
+        targets,
+        CombineConfig {
+            transfer,
+            sim,
+            ..CombineConfig::default()
+        },
+    )
+}
+
+/// [`combine_tests_sim`] with every knob exposed, including the
+/// failed-pair memo cap that bounds Phase 4 memory on large test sets.
+pub fn combine_tests_cfg(
+    nl: &Netlist,
+    universe: &FaultUniverse,
+    set: &TestSet,
+    targets: &[FaultId],
+    cfg: CombineConfig,
+) -> (TestSet, StaticCompactionStats) {
+    let transfer = cfg.transfer;
     let mut stats = StaticCompactionStats::default();
     if set.len() <= 1 {
         return (set.clone(), stats);
     }
     let mut rng = StdRng::seed_from_u64(transfer.map_or(0, |t| t.seed));
-    let fsim = ParallelFsim::new(nl, sim);
+    let fsim = ParallelFsim::new(nl, cfg.sim);
 
     // Assign each target fault to the first test that detects it.
     let mut entries: Vec<Option<(ScanTest, Vec<FaultId>)>> = Vec::with_capacity(set.len());
@@ -215,8 +270,10 @@ pub fn combine_tests_sim(
                     failed.retain(|&(a, b), _| a != j && b != j);
                     stats.combinations += 1;
                     changed = true;
-                } else {
+                } else if failed.len() < cfg.max_failed_pairs || failed.contains_key(&(i, j)) {
                     failed.insert((i, j), (versions[i], versions[j]));
+                } else {
+                    stats.failed_pairs_dropped += 1;
                 }
             }
         }
@@ -380,6 +437,38 @@ mod tests {
             stats.failed_pairs,
             live
         );
+    }
+
+    #[test]
+    fn failed_pair_cap_changes_memory_not_results() {
+        let (nl, u, c) = setup();
+        let targets: Vec<FaultId> = u.representatives().to_vec();
+        let initial = TestSet::from_comb_tests(&c);
+        let (unbounded, free_stats) =
+            combine_tests_cfg(&nl, &u, &initial, &targets, CombineConfig::default());
+        assert_eq!(free_stats.failed_pairs_dropped, 0);
+        for cap in [0, 1, 4] {
+            let (capped, stats) = combine_tests_cfg(
+                &nl,
+                &u,
+                &initial,
+                &targets,
+                CombineConfig {
+                    max_failed_pairs: cap,
+                    ..CombineConfig::default()
+                },
+            );
+            // The memo only skips re-simulation: the compacted set and the
+            // accepted combinations are identical at any cap.
+            assert_eq!(capped, unbounded, "cap={cap}");
+            assert_eq!(stats.combinations, free_stats.combinations, "cap={cap}");
+            assert!(stats.failed_pairs <= cap, "cap={cap}");
+            // Re-checks can only add attempts, never remove them.
+            assert!(stats.attempts >= free_stats.attempts, "cap={cap}");
+            if free_stats.failed_pairs > cap {
+                assert!(stats.failed_pairs_dropped > 0, "cap={cap}");
+            }
+        }
     }
 
     #[test]

@@ -17,8 +17,33 @@ use crate::error::CoreError;
 use crate::iterate::{build_tau_seq, IterateConfig};
 use crate::oracle::{verify_test_set, ClaimedCoverage, OracleReport};
 use crate::phase3::top_up_with;
-use crate::phase4::combine_tests_sim;
+use crate::phase4::{combine_tests_cfg, CombineConfig};
 use crate::test::{AtSpeedStats, ScanTest, TestSet};
+
+/// Memory bounds for the phases that would otherwise scale with
+/// `faults × sequence length` (Phase 2 detection profiles) or with the
+/// square of the test count (Phase 4's failed-pair memo). Both bounds
+/// trade memory for extra work or pessimism without ever *over*-claiming
+/// coverage, so any budget yields a sound test set; the default is
+/// effectively unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Per-fault state-diff words kept by Phase 2 omission profiles
+    /// ([`atspeed_atpg::compact::OmissionConfig::profile_state_words`]).
+    pub profile_state_words: usize,
+    /// Phase 4 failed-pair memo cap
+    /// ([`CombineConfig::max_failed_pairs`]).
+    pub max_failed_pairs: usize,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        MemoryBudget {
+            profile_state_words: usize::MAX,
+            max_failed_pairs: CombineConfig::default().max_failed_pairs,
+        }
+    }
+}
 
 /// Where the initial test sequence `T_0` comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +78,7 @@ pub struct Pipeline<'a> {
     provided_c: Option<Vec<CombTest>>,
     sim: SimConfig,
     verify: bool,
+    memory: MemoryBudget,
 }
 
 impl<'a> Pipeline<'a> {
@@ -74,7 +100,16 @@ impl<'a> Pipeline<'a> {
             provided_c: None,
             sim: SimConfig::from_env(),
             verify: false,
+            memory: MemoryBudget::default(),
         }
+    }
+
+    /// Bounds the memory of the profile- and cache-heavy phases; see
+    /// [`MemoryBudget`]. Any budget yields a sound (possibly less
+    /// compacted) test set.
+    pub fn memory_budget(mut self, memory: MemoryBudget) -> Self {
+        self.memory = memory;
+        self
     }
 
     /// Overrides the threading configuration for every stage (combinational
@@ -209,6 +244,7 @@ impl<'a> Pipeline<'a> {
         let mut iterate_cfg = self.iterate_cfg;
         iterate_cfg.phase1.sim = self.sim;
         iterate_cfg.omission.sim = self.sim;
+        iterate_cfg.omission.profile_state_words = self.memory.profile_state_words;
         let tau = build_tau_seq(nl, &universe, &t0, &comb_tests, &targets, iterate_cfg)?;
 
         // Phase 3: top up to complete coverage.
@@ -238,13 +274,16 @@ impl<'a> Pipeline<'a> {
             .copied()
             .collect();
         let (compacted_set, _) = if self.run_phase4 {
-            combine_tests_sim(
+            combine_tests_cfg(
                 nl,
                 &universe,
                 &initial_set,
                 &detected_by_set,
-                None,
-                self.sim,
+                CombineConfig {
+                    transfer: None,
+                    sim: self.sim,
+                    max_failed_pairs: self.memory.max_failed_pairs,
+                },
             )
         } else {
             (initial_set.clone(), Default::default())
@@ -455,6 +494,30 @@ mod tests {
         assert_eq!(plain.initial_set, verified.initial_set);
         assert_eq!(plain.compacted_set, verified.compacted_set);
         assert_eq!(plain.final_detected, verified.final_detected);
+    }
+
+    #[test]
+    fn memory_budget_keeps_results_sound() {
+        let nl = s27();
+        let free = Pipeline::new(&nl)
+            .t0_source(T0Source::Random { len: 100 })
+            .seed(3)
+            .run()
+            .unwrap();
+        let tight = Pipeline::new(&nl)
+            .t0_source(T0Source::Random { len: 100 })
+            .seed(3)
+            .memory_budget(MemoryBudget {
+                profile_state_words: 1,
+                max_failed_pairs: 2,
+            })
+            .run()
+            .unwrap();
+        // Bounded profiles under-claim and the pair-memo cap only forces
+        // re-checks, so coverage and compaction quality are unchanged on a
+        // circuit this small.
+        assert_eq!(tight.final_detected, free.final_detected);
+        assert_eq!(tight.compacted_set, free.compacted_set);
     }
 
     #[test]

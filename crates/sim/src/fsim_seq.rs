@@ -322,7 +322,32 @@ impl<'a> SeqFaultSim<'a> {
         faults: &[FaultId],
         universe: &FaultUniverse,
     ) -> Vec<DetectionProfile> {
+        self.profiles_bounded(init, seq, faults, universe, usize::MAX)
+            .0
+    }
+
+    /// [`SeqFaultSim::profiles`] with a memory bound: each fault's
+    /// state-difference bitset is truncated to its first
+    /// `max_state_words × 64` cycles, and the number of set bits dropped by
+    /// the cap is returned alongside the profiles.
+    ///
+    /// Truncation only *under-claims* detection — a dropped bit means a
+    /// scan-out that would detect the fault is not credited, so consumers
+    /// keep extra vectors or generate redundant top-up tests; they never
+    /// claim coverage that does not exist. The bound is applied per fault
+    /// by absolute cycle index, so the result (profiles *and* the truncated
+    /// count) is identical however the fault list is chunked or partitioned
+    /// across threads.
+    pub fn profiles_bounded(
+        &mut self,
+        init: &State,
+        seq: &Sequence,
+        faults: &[FaultId],
+        universe: &FaultUniverse,
+        max_state_words: usize,
+    ) -> (Vec<DetectionProfile>, u64) {
         crate::stats::add_invocation();
+        let mut truncated = 0u64;
         let mut profiles = vec![DetectionProfile::default(); faults.len()];
         for (chunk_idx, chunk) in faults.chunks(FAULTS_PER_PASS).enumerate() {
             let base = chunk_idx * FAULTS_PER_PASS;
@@ -355,7 +380,11 @@ impl<'a> SeqFaultSim<'a> {
                 if sd != 0 {
                     for k in 0..chunk.len() {
                         if sd & (1u64 << (k + 1)) != 0 {
-                            profiles[base + k].set_state_diff(t);
+                            if t / 64 < max_state_words {
+                                profiles[base + k].set_state_diff(t);
+                            } else {
+                                truncated += 1;
+                            }
                         }
                     }
                 }
@@ -364,7 +393,7 @@ impl<'a> SeqFaultSim<'a> {
                 }
             }
         }
-        profiles
+        (profiles, truncated)
     }
 
     fn seed_inputs(&mut self, seq: &Sequence, t: usize, state: &[W3]) {
@@ -556,6 +585,49 @@ mod tests {
         assert_eq!(p.po_detect, Some(1));
         assert!(p.detected_by_prefix(0), "prefix 0 detected via scan-out");
         assert!(p.detected_by_prefix(2), "later prefixes detected via PO");
+    }
+
+    #[test]
+    fn bounded_profiles_truncate_only_past_the_word_budget() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let mut fsim = SeqFaultSim::new(&nl);
+        let reps: Vec<FaultId> = u.representatives().to_vec();
+        // A 70-cycle sequence spills into the second state-diff word.
+        let rows: Vec<String> = (0..70).map(|t| format!("{:04b}", t % 16)).collect();
+        let seq: Sequence = rows.iter().map(|r| parse_values(r)).collect();
+        let init: State = parse_values("010");
+        let (full, none_truncated) = fsim.profiles_bounded(&init, &seq, &reps, &u, usize::MAX);
+        assert_eq!(none_truncated, 0);
+        let (capped, truncated) = fsim.profiles_bounded(&init, &seq, &reps, &u, 1);
+        let dropped: u64 = full
+            .iter()
+            .map(|p| {
+                p.state_diff
+                    .iter()
+                    .skip(1)
+                    .map(|w| w.count_ones() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert!(
+            dropped > 0,
+            "sequence must spill past word 0 for this test to bite"
+        );
+        assert_eq!(
+            truncated, dropped,
+            "truncation stat counts exactly the capped bits"
+        );
+        for (f, c) in full.iter().zip(capped.iter()) {
+            // PO detection and the first 64 cycles of state diffs agree.
+            assert_eq!(f.po_detect, c.po_detect);
+            assert_eq!(f.state_diff.first(), c.state_diff.first());
+            // The cap never *adds* detections.
+            for t in 0..seq.len() {
+                assert!(!c.state_diff_at(t) || f.state_diff_at(t));
+            }
+            assert!(c.state_diff.len() <= 1);
+        }
     }
 
     #[test]

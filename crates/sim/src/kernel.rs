@@ -34,11 +34,20 @@ pub struct SimScratch {
     // Source nets written since the last eval, for the delta path.
     changed: Vec<NetId>,
     dirty: Vec<bool>,
-    // Event queue: gates pending re-evaluation, bucketed by level.
-    buckets: Vec<Vec<GateId>>,
+    // Event queue: gates pending re-evaluation, bucketed by level. Stored
+    // as intrusive singly-linked lists — `bucket_head[level]` chains
+    // through `next_in_bucket[gate]` (sentinel `u32::MAX`) — so the
+    // retained footprint is O(levels + gates) flat words instead of one
+    // growable `Vec` per level (worst-case O(levels × gates) capacity on
+    // deep 100k-gate circuits). Push/pop at the head reproduces the old
+    // per-level LIFO order exactly.
+    bucket_head: Vec<u32>,
+    next_in_bucket: Vec<u32>,
     in_queue: Vec<bool>,
     queued: Vec<GateId>,
 }
+
+const NO_GATE: u32 = u32::MAX;
 
 impl SimScratch {
     /// Creates scratch state sized for `cc`, with every net at X.
@@ -47,7 +56,8 @@ impl SimScratch {
             vals: vec![W3::ALL_X; cc.num_nets()],
             changed: Vec::new(),
             dirty: vec![false; cc.num_nets()],
-            buckets: vec![Vec::new(); cc.max_level() as usize + 1],
+            bucket_head: vec![NO_GATE; cc.max_level() as usize + 1],
+            next_in_bucket: vec![NO_GATE; cc.num_gates()],
             in_queue: vec![false; cc.num_gates()],
             queued: Vec::new(),
         }
@@ -270,8 +280,10 @@ impl<'a> CompiledSim<'a> {
 
         if min_level != u32::MAX {
             let mut level = min_level as usize;
-            while level < s.buckets.len() {
-                while let Some(gid) = s.buckets[level].pop() {
+            while level < s.bucket_head.len() {
+                while s.bucket_head[level] != NO_GATE {
+                    let gid = GateId::from_index(s.bucket_head[level] as usize);
+                    s.bucket_head[level] = s.next_in_bucket[gid.index()];
                     let out = match ov {
                         Some(ov) if ov.is_gate_flagged(gid) => {
                             self.eval_gate_flagged(&s.vals, gid, ov)
@@ -310,7 +322,9 @@ fn schedule(s: &mut SimScratch, gid: GateId, cc: &CompiledCircuit) -> u32 {
     if !s.in_queue[gid.index()] {
         s.in_queue[gid.index()] = true;
         s.queued.push(gid);
-        s.buckets[level as usize].push(gid);
+        let gi = gid.index();
+        s.next_in_bucket[gi] = s.bucket_head[level as usize];
+        s.bucket_head[level as usize] = gi as u32;
     }
     level
 }

@@ -245,11 +245,22 @@ impl<'a> ParallelFsim<'a> {
     }
 
     /// How many fault partitions a call with `n` faults should use.
+    ///
+    /// With an explicit `chunk_size` the caller controls granularity.
+    /// Otherwise we oversubscribe: exactly `threads` partitions makes the
+    /// whole call wait on its slowest partition, and at high fault counts
+    /// the level-spread deal cannot fully equalize propagation cost — a
+    /// partition that drew a few extra large-cone faults stalls the join.
+    /// Dealing ~4 claims per worker lets the atomic claim queue in
+    /// [`ParallelFsim::run_partitioned`] rebalance stragglers dynamically,
+    /// while each partition stays large enough to amortize engine reuse.
     fn fault_units(&self, n: usize, threads: usize) -> usize {
         if self.cfg.chunk_size > 0 {
             n.div_ceil(self.cfg.chunk_size).max(threads)
+        } else if threads <= 1 {
+            1
         } else {
-            threads
+            (threads * 4).min(n.max(1))
         }
     }
 
@@ -544,28 +555,53 @@ impl<'a> ParallelFsim<'a> {
         faults: &[FaultId],
         universe: &FaultUniverse,
     ) -> Vec<DetectionProfile> {
+        self.profiles_bounded(init, seq, faults, universe, usize::MAX)
+            .0
+    }
+
+    /// Parallel [`SeqFaultSim::profiles_bounded`], fault-sharded.
+    ///
+    /// The word budget applies per fault by absolute cycle index, so the
+    /// truncated-bit total is the sum over faults regardless of how they
+    /// were partitioned — identical to the serial engine's count.
+    pub fn profiles_bounded(
+        &self,
+        init: &State,
+        seq: &Sequence,
+        faults: &[FaultId],
+        universe: &FaultUniverse,
+        max_state_words: usize,
+    ) -> (Vec<DetectionProfile>, u64) {
         let threads = self.cfg.effective_threads(faults.len());
         if threads <= 1 {
-            return SeqFaultSim::new(self.nl).profiles(init, seq, faults, universe);
+            return SeqFaultSim::new(self.nl).profiles_bounded(
+                init,
+                seq,
+                faults,
+                universe,
+                max_state_words,
+            );
         }
         let parts =
             self.fault_partitions(faults, universe, self.fault_units(faults.len(), threads));
-        let profs = self.run_partitioned(
+        let results = self.run_partitioned(
             &parts,
             threads,
             || SeqFaultSim::new(self.nl),
             |sim, part| {
                 let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
-                sim.profiles(init, seq, &ids, universe)
+                sim.profiles_bounded(init, seq, &ids, universe, max_state_words)
             },
         );
         let mut out = vec![DetectionProfile::default(); faults.len()];
-        for (part, ps) in parts.iter().zip(profs) {
+        let mut truncated = 0u64;
+        for (part, (ps, t)) in parts.iter().zip(results) {
+            truncated += t;
             for (&k, p) in part.iter().zip(ps) {
                 out[k] = p;
             }
         }
-        out
+        (out, truncated)
     }
 
     /// Union detection over many scan tests — each run `(scan-in state,
@@ -765,6 +801,55 @@ mod tests {
         assert_eq!(sp.len(), pp.len());
         for (a, b) in sp.iter().zip(pp.iter()) {
             assert_eq!(a.earliest_detection(), b.earliest_detection());
+        }
+    }
+
+    #[test]
+    fn fault_units_oversubscribes_the_claim_queue() {
+        let nl = s27();
+        // Default chunking: ~4 claims per worker so the queue can
+        // rebalance, capped by the fault count, and serial stays at one.
+        let par = ParallelFsim::new(&nl, SimConfig::with_threads(4));
+        assert_eq!(par.fault_units(1000, 4), 16);
+        assert_eq!(par.fault_units(10, 4), 10);
+        assert_eq!(par.fault_units(0, 4), 1);
+        assert_eq!(par.fault_units(1000, 1), 1);
+        // Explicit chunk_size still controls granularity directly.
+        let chunked = ParallelFsim::new(
+            &nl,
+            SimConfig {
+                threads: 4,
+                chunk_size: 100,
+            },
+        );
+        assert_eq!(chunked.fault_units(1000, 4), 10);
+        assert_eq!(chunked.fault_units(100, 4), 4);
+    }
+
+    #[test]
+    fn parallel_bounded_profiles_match_serial_including_truncation() {
+        let nl = s27();
+        let u = FaultUniverse::full(&nl);
+        let faults: Vec<FaultId> = u.representatives().to_vec();
+        // 70 cycles spills state-diff bits past the first 64-bit word, so
+        // a budget of one word must truncate the same bits everywhere.
+        let seq = Sequence::from_vectors(
+            (0..70)
+                .map(|t| {
+                    (0..nl.num_pis())
+                        .map(|i| V3::from_bool((t * 5 + i * 11) % 7 < 3))
+                        .collect()
+                })
+                .collect(),
+        );
+        let init = vec![V3::Zero; nl.num_ffs()];
+        let (sp, st) = SeqFaultSim::new(&nl).profiles_bounded(&init, &seq, &faults, &u, 1);
+        for threads in [2, 4] {
+            let par = ParallelFsim::new(&nl, SimConfig::with_threads(threads));
+            let (pp, pt) = par.profiles_bounded(&init, &seq, &faults, &u, 1);
+            assert_eq!(st, pt, "truncation count diverges at {threads} threads");
+            assert_eq!(sp.len(), pp.len());
+            assert_eq!(sp, pp, "profiles diverge at {threads} threads");
         }
     }
 

@@ -48,6 +48,7 @@
 
 pub mod log;
 pub mod metrics;
+pub mod rss;
 pub mod span;
 
 pub use log::Level;

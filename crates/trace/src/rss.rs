@@ -1,0 +1,68 @@
+//! Process peak-RSS measurement for the stress gate.
+//!
+//! Linux exposes the high-water mark of a process's resident set as the
+//! `VmHWM` line of `/proc/self/status` — a kernel-maintained running
+//! maximum, so a single read at any point reports the peak over the whole
+//! process lifetime so far. No polling thread is needed.
+
+use crate::metrics::MetricsRegistry;
+
+/// Peak resident set size of the current process in bytes, from the
+/// `VmHWM` line of `/proc/self/status`. Returns `None` off Linux or when
+/// the field is missing or malformed.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Records [`peak_rss_bytes`] into `registry` as the running-maximum gauge
+/// `process/peak_rss_bytes`; returns the measured value. A no-op returning
+/// `None` where the measurement is unavailable.
+pub fn record_peak_rss(registry: &MetricsRegistry) -> Option<u64> {
+    let rss = peak_rss_bytes()?;
+    registry
+        .gauge("process/peak_rss_bytes")
+        .record_max(rss.min(i64::MAX as u64) as i64);
+    Some(rss)
+}
+
+/// Parses the `VmHWM:   1234 kB` line out of a `/proc/<pid>/status` blob.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kib * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_status_blob() {
+        let status = "Name:\tstress\nVmPeak:\t  200000 kB\nVmHWM:\t   81920 kB\nVmRSS:\t 4096 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(81920 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tx\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot a number kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn measures_this_process() {
+        let rss = peak_rss_bytes().expect("linux exposes VmHWM");
+        // Any live test binary has at least a megabyte resident.
+        assert!(rss > 1 << 20, "implausible peak RSS {rss}");
+
+        let reg = MetricsRegistry::new();
+        let recorded = record_peak_rss(&reg).unwrap();
+        assert_eq!(reg.gauge("process/peak_rss_bytes").get() as u64, recorded);
+        // The gauge is a running max: recording again never lowers it.
+        record_peak_rss(&reg);
+        assert!(reg.gauge("process/peak_rss_bytes").get() as u64 >= recorded);
+    }
+}

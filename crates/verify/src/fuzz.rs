@@ -56,14 +56,30 @@ pub struct Case {
 
 impl Case {
     /// Derives case `i` of the fuzzing run with master seed `seed`.
+    ///
+    /// Every third case uses the layered generator (with occasional fanout
+    /// hubs) at a larger gate count, so the structures the 100k-gate
+    /// stress path exercises — deep layered logic, skewed fanout — are
+    /// also differential-fuzzed, just at a CI-friendly scale.
     pub fn from_iteration(seed: u64, i: usize) -> Case {
         let mut next = rng(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let num_pis = 2 + (next() % 4) as usize; // 2..=5
         let num_pos = 1 + (next() % 3) as usize; // 1..=3
         let num_ffs = 1 + (next() % 7) as usize; // 1..=7
         let floor = num_pos + num_ffs;
-        let num_gates = (8 + (next() % 72) as usize).max(floor); // 8..=79
-        let spec = SynthSpec::new("fuzz", num_pis, num_pos, num_ffs, num_gates, next());
+        let layered = i % 3 == 2;
+        let num_gates = if layered {
+            (40 + (next() % 160) as usize).max(floor) // 40..=199
+        } else {
+            (8 + (next() % 72) as usize).max(floor) // 8..=79
+        };
+        let mut spec = SynthSpec::new("fuzz", num_pis, num_pos, num_ffs, num_gates, next());
+        if layered {
+            spec = spec.with_layers(2 + (next() % 8) as usize); // 2..=9
+            if next() & 1 == 0 {
+                spec = spec.with_fanout_hubs(1 + (next() % 4) as usize); // 1..=4
+            }
+        }
         Case {
             spec,
             data_seed: next(),

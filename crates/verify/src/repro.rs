@@ -107,8 +107,8 @@ pub fn dump_repro(
 
     let case_txt = format!(
         "check = {}\ndetail = {}\nname = {}\nnum_pis = {}\nnum_pos = {}\nnum_ffs = {}\n\
-         num_gates = {}\ncircuit_seed = {}\ndata_seed = {}\nseq_len = {}\nfault_cap = {}\n\
-         replay = verifier --replay {}\n",
+         num_gates = {}\nlayers = {}\nfanout_hubs = {}\ncircuit_seed = {}\ndata_seed = {}\n\
+         seq_len = {}\nfault_cap = {}\nreplay = verifier --replay {}\n",
         divergence.check,
         divergence.detail,
         case.spec.name,
@@ -116,6 +116,8 @@ pub fn dump_repro(
         case.spec.num_pos,
         case.spec.num_ffs,
         case.spec.num_gates,
+        case.spec.layers,
+        case.spec.fanout_hubs,
         case.spec.seed,
         case.data_seed,
         case.seq_len,

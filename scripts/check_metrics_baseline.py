@@ -10,9 +10,14 @@ Validates that CURRENT.json is well-formed telemetry output (top-level
 gated headline figure (`derived.gate_evals_per_sec`, and
 `derived.omission_attempts_per_sec` when the baseline records it)
 regressed by more than `--max-regression` (default 25%) relative to the
-baseline. Improvements never fail; print-only fields (wall time,
-imbalance) are reported for context but not gated, since they vary with
-machine load.
+baseline. Improvements never fail.
+
+Resource ceilings are gated the other way around (lower is better):
+`derived.peak_rss_bytes` and the `stress/wall_us` gauge fail when the
+current value exceeds `baseline * (1 + max_regression)` — but only when
+the baseline records them (> 0), so `tables` baselines without a stress
+run are unaffected. Remaining print-only fields (imbalance, totals) are
+reported for context but not gated, since they vary with machine load.
 """
 
 import argparse
@@ -66,6 +71,28 @@ def main():
             failures.append(f"{metric} regressed more than "
                             f"{args.max_regression:.0%} (ratio {ratio:.2f})")
 
+    # Resource ceilings: lower is better, gated only once the baseline
+    # records them (tables baselines predate the stress metrics).
+    def lookup(doc, section, key):
+        value = doc.get(section, {}).get(key)
+        return value if isinstance(value, (int, float)) else None
+
+    ceilings = [("derived", "peak_rss_bytes"), ("gauges", "stress/wall_us")]
+    for section, metric in ceilings:
+        base = lookup(baseline, section, metric)
+        if base is None or base <= 0:
+            continue
+        cur = lookup(current, section, metric)
+        if cur is None or cur <= 0:
+            sys.exit(f"error: bad current {section}.{metric}: {cur!r}")
+        ceiling = base * (1.0 + args.max_regression)
+        ratio = cur / base
+        print(f"{section}.{metric}: current {cur:.0f}, baseline {base:.0f} "
+              f"(ratio {ratio:.2f}, ceiling {ceiling:.0f})")
+        if cur > ceiling:
+            failures.append(f"{section}.{metric} grew more than "
+                            f"{args.max_regression:.0%} (ratio {ratio:.2f})")
+
     for field in ("gate_evals_total", "wall_us_total", "partition_imbalance",
                   "omission_attempts_total", "omission_wall_us"):
         c = current["derived"].get(field)
@@ -74,7 +101,7 @@ def main():
 
     if failures:
         sys.exit("FAIL: " + "; ".join(failures))
-    print("OK: throughput within the allowed regression envelope")
+    print("OK: metrics within the allowed regression envelope")
 
 
 if __name__ == "__main__":
