@@ -117,7 +117,15 @@ impl<'a> Podem<'a> {
     /// records the search's backtrack count and maximum decision depth in
     /// the global metric histograms, plus one outcome counter.
     pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
-        let _sp = atspeed_trace::span("podem");
+        // The fault label costs an allocation, so it is only rendered when
+        // a trace is actually being recorded; the report tooling uses it
+        // to rank the slowest PODEM searches by fault.
+        let _sp = if atspeed_trace::tracing_enabled() {
+            let desc = fault.describe(self.nl);
+            atspeed_trace::span_args("podem", &[("fault", &desc)])
+        } else {
+            atspeed_trace::span("podem")
+        };
         let mut backtracks = 0usize;
         let mut max_depth = 0usize;
         let outcome = self.search(fault, &mut backtracks, &mut max_depth);

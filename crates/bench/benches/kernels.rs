@@ -192,6 +192,59 @@ fn measure_circuit(info: &BenchmarkInfo, num_rounds: usize, repeats: usize) -> V
     rows
 }
 
+/// One timed sweep like [`run_compiled`] but with a span per round — the
+/// instrumentation density of real pipeline code — so the profiler
+/// overhead measurement exercises the push/pop hot path, not just the
+/// background sampler.
+///
+/// Production spans wrap phases, PODEM fault generations, and fault-sim
+/// partitions — units of 0.1 ms and up, never per-gate or per-round work.
+/// One span per 64-round block reproduces that density (a few thousand
+/// spans per second of kernel work); per-round spans would measure a
+/// regime the codebase deliberately avoids.
+fn run_compiled_spanned(w: &Workload, sim: &CompiledSim<'_>, vals: &mut [W3]) {
+    for block in w.rounds.chunks(64) {
+        let _sp = atspeed_trace::span("bench.block");
+        for round in block {
+            for &(net, val) in round {
+                vals[net.index()] = val;
+            }
+            sim.eval_slice(vals);
+        }
+    }
+    black_box(vals.first().copied());
+}
+
+/// Wall time of the spanned compiled sweep with the profiler off vs
+/// sampling at 250 Hz. The contract is <2% overhead enabled; the JSON
+/// summary archives the measured ratio per run.
+struct ProfilerOverhead {
+    wall_s_off: f64,
+    wall_s_on: f64,
+}
+
+fn measure_profiler_overhead(w: &Workload, repeats: usize) -> ProfilerOverhead {
+    let sim = CompiledSim::new(w.nl.compiled());
+    let mut vals = vec![W3::ALL_X; w.nl.num_nets()];
+    let time_sweeps = |vals: &mut [W3]| {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            run_compiled_spanned(w, &sim, vals);
+        }
+        start.elapsed().as_secs_f64()
+    };
+    // Warm-up pass so both timed passes see hot caches.
+    time_sweeps(&mut vals);
+    let wall_s_off = time_sweeps(&mut vals);
+    atspeed_trace::profile::start(atspeed_trace::profile::DEFAULT_HZ);
+    let wall_s_on = time_sweeps(&mut vals);
+    let _ = atspeed_trace::profile::stop();
+    ProfilerOverhead {
+        wall_s_off,
+        wall_s_on,
+    }
+}
+
 /// One measured Phase-2 omission run at a given thread count.
 struct OmissionRow {
     threads: usize,
@@ -274,6 +327,7 @@ fn emit_json(
     rounds: usize,
     repeats: usize,
     omission: &(BenchmarkInfo, usize, Vec<OmissionRow>),
+    profiler: &(BenchmarkInfo, ProfilerOverhead),
 ) {
     let path = std::env::var("KERNELS_JSON").unwrap_or_else(|_| {
         // Default into the workspace target dir, independent of the cwd
@@ -333,7 +387,22 @@ fn emit_json(
             if j + 1 == rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]}\n}\n");
+    out.push_str("  ]},\n");
+    let (pinfo, po) = profiler;
+    let overhead_pct = if po.wall_s_off > 0.0 {
+        (po.wall_s_on / po.wall_s_off - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "  \"profiler_overhead\": {{\"circuit\": \"{}\", \"hz\": {}, \
+         \"wall_us_off\": {}, \"wall_us_on\": {}, \"overhead_pct\": {:.2}}}\n}}\n",
+        pinfo.name,
+        atspeed_trace::profile::DEFAULT_HZ,
+        (po.wall_s_off * 1e6) as u64,
+        (po.wall_s_on * 1e6) as u64,
+        overhead_pct,
+    ));
     if let Some(dir) = std::path::Path::new(&path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -386,7 +455,24 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
     let om_rows = measure_omission(&ow, om_repeats);
 
-    emit_json(&summary, rounds, repeats, &(om_info, om_len, om_rows));
+    // Profiler tax: the same compiled sweep (with per-round spans) timed
+    // with sampling off and at the default 250 Hz. Longer rounds in bench
+    // mode so the ratio is measured over a multi-second window.
+    let prof_info = catalog::by_name("s1423").unwrap_or(om_info);
+    // ~1 s per timed pass in bench mode: long enough for hundreds of
+    // 250 Hz samples, so the ratio measures the tax rather than noise.
+    let prof_rounds = if bench_mode() { 512 } else { 8 };
+    let prof_repeats = if bench_mode() { 320 } else { 1 };
+    let pw = make_workload(&prof_info, prof_rounds);
+    let overhead = measure_profiler_overhead(&pw, prof_repeats);
+
+    emit_json(
+        &summary,
+        rounds,
+        repeats,
+        &(om_info, om_len, om_rows),
+        &(prof_info, overhead),
+    );
 }
 
 criterion_group!(kernels, bench_kernels);

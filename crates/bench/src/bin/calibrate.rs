@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! calibrate [CIRCUIT] [--sim-threads N] [--trace FILE] [--metrics-json FILE]
+//! [--profile FILE] [--profile-hz N] [--history FILE]
 //!           [--log LEVEL]
 //! ```
 //!
@@ -46,7 +47,8 @@ fn main() -> ExitCode {
             Ok(false) if a == "--help" || a == "-h" => {
                 eprintln!(
                     "usage: calibrate [CIRCUIT] [--sim-threads N] [--trace FILE] \
-                     [--metrics-json FILE] [--log LEVEL]"
+                     [--metrics-json FILE] [--profile FILE] [--profile-hz N] \
+                     [--history FILE] [--log LEVEL]"
                 );
                 return ExitCode::FAILURE;
             }

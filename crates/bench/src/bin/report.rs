@@ -1,0 +1,171 @@
+//! Renders a self-contained HTML run report from telemetry artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! report [--metrics FILE] [--trace FILE] [--profile FILE]
+//!        [--history FILE] [--top N] [--out FILE]
+//! ```
+//!
+//! Consumes any subset of the files the other binaries emit — metrics
+//! JSON (`--metrics-json`), Chrome trace (`--trace`), folded profile
+//! (`--profile`), and the run-history JSONL (`target/bench-history.jsonl`
+//! by default) — and writes one HTML file (default `target/report.html`)
+//! with no external assets: phase waterfall, hottest profiler stacks,
+//! slowest spans (PODEM faults included), trend sparklines across history
+//! records, and the metrics tables. Inputs that are missing or malformed
+//! drop their section with a warning rather than failing the run, so the
+//! report can always be produced from whatever a CI job managed to save.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use atspeed_bench::report::{render_html, ReportInputs};
+use atspeed_trace::json::{parse, Value};
+
+struct Args {
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    profile: Option<PathBuf>,
+    history: PathBuf,
+    top_k: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        metrics: None,
+        trace: None,
+        profile: None,
+        history: PathBuf::from(atspeed_trace::history::DEFAULT_PATH),
+        top_k: 15,
+        out: PathBuf::from("target/report.html"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut path_arg = |flag: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{flag} needs a path"))
+        };
+        match a.as_str() {
+            "--metrics" => args.metrics = Some(path_arg("--metrics")?),
+            "--trace" => args.trace = Some(path_arg("--trace")?),
+            "--profile" => args.profile = Some(path_arg("--profile")?),
+            "--history" => args.history = path_arg("--history")?,
+            "--out" => args.out = path_arg("--out")?,
+            "--top" => {
+                let v = it.next().ok_or("--top needs a count")?;
+                args.top_k = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("bad --top count `{v}`"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: report [--metrics FILE] [--trace FILE] [--profile FILE] \
+                     [--history FILE] [--top N] [--out FILE]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Reads and parses one JSON input; `None` (with a stderr warning) when
+/// the file is absent or malformed so the report degrades per-section.
+fn load_json(label: &str, path: &Path) -> Option<Value> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("report: skipping {label} ({}: {e})", path.display());
+            return None;
+        }
+    };
+    match parse(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("report: skipping {label} ({}: {e})", path.display());
+            None
+        }
+    }
+}
+
+fn load_history(path: &Path) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Ok(v) => records.push(v),
+            Err(e) => eprintln!(
+                "report: skipping history line {} ({}: {e})",
+                i + 1,
+                path.display()
+            ),
+        }
+    }
+    records
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut inputs = ReportInputs::new();
+    inputs.top_k = args.top_k;
+    if let Some(p) = &args.metrics {
+        inputs.metrics = load_json("metrics", p);
+    }
+    if let Some(p) = &args.trace {
+        inputs.trace = load_json("trace", p);
+    }
+    if let Some(p) = &args.profile {
+        match std::fs::read_to_string(p) {
+            Ok(folded) => {
+                if let Err(e) = atspeed_trace::validate_folded(&folded) {
+                    eprintln!(
+                        "report: profile {} is not valid folded output: {e}",
+                        p.display()
+                    );
+                }
+                inputs.profile = Some(folded);
+            }
+            Err(e) => eprintln!("report: skipping profile ({}: {e})", p.display()),
+        }
+    }
+    inputs.history = load_history(&args.history);
+
+    let html = render_html(&inputs);
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("report: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, &html) {
+        eprintln!("report: cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "report: wrote {} ({} bytes; {} history records)",
+        args.out.display(),
+        html.len(),
+        inputs.history.len()
+    );
+    ExitCode::SUCCESS
+}

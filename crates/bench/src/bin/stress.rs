@@ -7,7 +7,8 @@
 //! ```text
 //! stress [--gates N] [--ffs N] [--faults N] [--t0-len N] [--seed N]
 //!        [--attempts N] [--mem-words N] [--max-rss-mb N] [--sim-threads N]
-//!        [--trace FILE] [--metrics-json FILE] [--log LEVEL]
+//!        [--trace FILE] [--metrics-json FILE] [--profile FILE]
+//!        [--profile-hz N] [--history FILE] [--log LEVEL]
 //! ```
 //!
 //! The circuit comes from the layered [`SynthSpec`] generator (fixed seed,
@@ -94,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: stress [--gates N] [--ffs N] [--faults N] [--t0-len N] [--seed N] \
+                     [--profile FILE] [--profile-hz N] [--history FILE] \
                      [--attempts N] [--mem-words N] [--max-rss-mb N] [--sim-threads N] \
                      [--trace FILE] [--metrics-json FILE] [--log LEVEL]"
                         .to_owned(),
@@ -306,7 +308,7 @@ fn run(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");

@@ -5,7 +5,8 @@
 //! ```text
 //! tables [--table N] [--circuits a,b,c] [--quick] [--verify] [--no-parallel]
 //!        [--sim-threads N] [--csv FILE] [--sim-json FILE]
-//!        [--trace FILE] [--metrics-json FILE] [--log LEVEL]
+//!        [--trace FILE] [--metrics-json FILE] [--profile FILE]
+//!        [--profile-hz N] [--history FILE] [--log LEVEL]
 //! ```
 //!
 //! Without `--table`, all five tables print. `--circuits` filters by name
@@ -17,8 +18,12 @@
 //! Telemetry: `--trace FILE` records hierarchical spans for the whole run
 //! and writes Chrome trace-event JSON (open at <https://ui.perfetto.dev>);
 //! `--metrics-json FILE` dumps every counter/gauge/histogram plus derived
-//! headline figures; `--log LEVEL` filters the structured JSONL run log
-//! (default `info`).
+//! headline figures; `--profile FILE` samples the live span stacks
+//! (`--profile-hz N`, default 250) and writes collapsed stacks loadable in
+//! speedscope or inferno; `--log LEVEL` filters the structured JSONL run
+//! log (default `info`). Any telemetry-enabled run appends one run-history
+//! record to `target/bench-history.jsonl` (`--history FILE` overrides).
+//! Feed the outputs to the `report` binary for a self-contained HTML view.
 //!
 //! A per-phase simulation-instrumentation report (gate evaluations,
 //! fault-sim invocations, faults dropped, partition wall times) prints
@@ -99,7 +104,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: tables [--table N] [--circuits a,b,c] [--quick] [--verify] \
                      [--no-parallel] [--sim-threads N] [--csv FILE] [--sim-json FILE] \
-                     [--trace FILE] [--metrics-json FILE] [--log LEVEL]"
+                     [--trace FILE] [--metrics-json FILE] [--profile FILE] \
+                     [--profile-hz N] [--history FILE] [--log LEVEL]"
                         .to_owned(),
                 )
             }
@@ -117,7 +123,7 @@ fn sim_config(args: &Args) -> SimConfig {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");

@@ -5,7 +5,8 @@
 //! ```text
 //! verifier [--seed N] [--iters N] [--threads a,b] [--out-dir DIR]
 //!          [--shrink-steps N] [--replay DIR]
-//!          [--trace FILE] [--metrics-json FILE] [--log LEVEL]
+//!          [--trace FILE] [--metrics-json FILE] [--profile FILE]
+//!          [--profile-hz N] [--history FILE] [--log LEVEL]
 //! ```
 //!
 //! Default mode fuzzes `--iters` deterministic cases (derived from
@@ -82,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: verifier [--seed N] [--iters N] [--threads a,b] [--out-dir DIR] \
                      [--shrink-steps N] [--replay DIR] [--trace FILE] [--metrics-json FILE] \
+                     [--profile FILE] [--profile-hz N] [--history FILE] \
                      [--log LEVEL]"
                         .to_owned(),
                 )
@@ -130,7 +132,7 @@ fn replay_bundle(dir: &std::path::Path, threads: &[usize]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");

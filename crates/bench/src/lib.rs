@@ -17,6 +17,7 @@
 
 pub mod csv;
 pub mod paper;
+pub mod report;
 pub mod runner;
 pub mod tables;
 pub mod telemetry;

@@ -186,7 +186,10 @@ impl<'a> Pipeline<'a> {
 
         // Combinational test set C.
         stats::set_phase("comb-gen");
-        let sp = atspeed_trace::span("pipeline.comb-gen");
+        let sp = atspeed_trace::span_args(
+            "pipeline.comb-gen",
+            &[("faults", &targets.len()), ("gates", &nl.num_gates())],
+        );
         let (comb_tests, untestable) = match self.provided_c {
             Some(c) => (c, Vec::new()),
             None => {
@@ -240,7 +243,13 @@ impl<'a> Pipeline<'a> {
         // Phases 1–2, iterated.
         drop(sp);
         stats::set_phase("phase1-2");
-        let sp = atspeed_trace::span("pipeline.phase1-2");
+        let sp = atspeed_trace::span_args(
+            "pipeline.phase1-2",
+            &[
+                ("comb_tests", &comb_tests.len()),
+                ("faults", &targets.len()),
+            ],
+        );
         let mut iterate_cfg = self.iterate_cfg;
         iterate_cfg.phase1.sim = self.sim;
         iterate_cfg.omission.sim = self.sim;
@@ -250,12 +259,12 @@ impl<'a> Pipeline<'a> {
         // Phase 3: top up to complete coverage.
         drop(sp);
         stats::set_phase("phase3");
-        let sp = atspeed_trace::span("pipeline.phase3");
         let undetected: Vec<FaultId> = targets
             .iter()
             .filter(|f| !tau.detected.contains(f))
             .copied()
             .collect();
+        let sp = atspeed_trace::span_args("pipeline.phase3", &[("undetected", &undetected.len())]);
         let p3 = top_up_with(nl, &universe, &comb_tests, &undetected, self.sim);
 
         let mut tests: Vec<ScanTest> = Vec::with_capacity(1 + p3.added.len());
@@ -267,7 +276,7 @@ impl<'a> Pipeline<'a> {
         // Phase 4: static compaction of the proposed set.
         drop(sp);
         stats::set_phase("phase4");
-        let sp = atspeed_trace::span("pipeline.phase4");
+        let sp = atspeed_trace::span_args("pipeline.phase4", &[("tests", &initial_set.len())]);
         let detected_by_set: Vec<FaultId> = targets
             .iter()
             .filter(|f| !p3.still_undetected.contains(f))

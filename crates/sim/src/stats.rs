@@ -361,6 +361,19 @@ impl StatsHandle {
                 entry.partition_wall_max = Duration::from_nanos(u64::try_from(*value).unwrap_or(0));
             }
         }
+        for (name, hist) in &snap.histograms {
+            let Some(rest) = name.strip_prefix("phase/") else {
+                continue;
+            };
+            let Some((label, field)) = rest.rsplit_once('/') else {
+                continue;
+            };
+            if field == "partition_wall_us" {
+                let entry = phases.entry(label.to_string()).or_default();
+                entry.partition_wall_p50 = Duration::from_micros(hist.approx_quantile(0.50) as u64);
+                entry.partition_wall_p99 = Duration::from_micros(hist.approx_quantile(0.99) as u64);
+            }
+        }
         SimReport {
             phases: phases
                 .into_iter()
@@ -506,6 +519,11 @@ pub struct PhaseStats {
     pub partition_wall_total: Duration,
     /// Wall time of the slowest partition (the parallel critical path).
     pub partition_wall_max: Duration,
+    /// Median partition wall time (approximate, from the log2-bucketed
+    /// `partition_wall_us` histogram).
+    pub partition_wall_p50: Duration,
+    /// 99th-percentile partition wall time (approximate, same source).
+    pub partition_wall_p99: Duration,
 }
 
 impl PhaseStats {
@@ -558,6 +576,10 @@ impl SimReport {
             t.partitions += s.partitions;
             t.partition_wall_total += s.partition_wall_total;
             t.partition_wall_max = t.partition_wall_max.max(s.partition_wall_max);
+            // Quantiles do not sum; the cross-phase maximum is the
+            // conservative roll-up for a totals row.
+            t.partition_wall_p50 = t.partition_wall_p50.max(s.partition_wall_p50);
+            t.partition_wall_p99 = t.partition_wall_p99.max(s.partition_wall_p99);
         }
         t
     }
@@ -578,6 +600,7 @@ impl SimReport {
                  \"faults_dropped\": {}, \"events_skipped\": {}, \
                  \"gate_evals_per_sec\": {:.1}, \"wall_us\": {}, \"partitions\": {}, \
                  \"partition_wall_total_us\": {}, \"partition_wall_max_us\": {}, \
+                 \"partition_wall_p50_us\": {}, \"partition_wall_p99_us\": {}, \
                  \"partition_imbalance\": {:.3}}}{}\n",
                 esc(name),
                 s.gate_evals,
@@ -589,6 +612,8 @@ impl SimReport {
                 s.partitions,
                 s.partition_wall_total.as_micros(),
                 s.partition_wall_max.as_micros(),
+                s.partition_wall_p50.as_micros(),
+                s.partition_wall_p99.as_micros(),
                 s.partition_imbalance(),
                 if i + 1 == self.phases.len() { "" } else { "," }
             ));
@@ -602,7 +627,7 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11} {:>10} {:>6} {:>10} {:>6}",
+            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11} {:>10} {:>6} {:>10} {:>10} {:>10} {:>6}",
             "phase",
             "gate evals",
             "fsims",
@@ -611,13 +636,15 @@ impl fmt::Display for SimReport {
             "evals/s",
             "wall",
             "parts",
+            "part p50",
+            "part p99",
             "part max",
             "imbal"
         )?;
         for (name, s) in &self.phases {
             writeln!(
                 f,
-                "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?} {:>6.2}",
+                "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?} {:>10.2?} {:>10.2?} {:>6.2}",
                 name,
                 s.gate_evals,
                 s.fsim_invocations,
@@ -626,6 +653,8 @@ impl fmt::Display for SimReport {
                 s.gate_evals_per_sec(),
                 s.wall,
                 s.partitions,
+                s.partition_wall_p50,
+                s.partition_wall_p99,
                 s.partition_wall_max,
                 s.partition_imbalance()
             )?;
@@ -633,7 +662,7 @@ impl fmt::Display for SimReport {
         let t = self.totals();
         writeln!(
             f,
-            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?} {:>6.2}",
+            "{:<18} {:>14} {:>8} {:>9} {:>14} {:>11.3e} {:>10.2?} {:>6} {:>10.2?} {:>10.2?} {:>10.2?} {:>6.2}",
             "total",
             t.gate_evals,
             t.fsim_invocations,
@@ -642,6 +671,8 @@ impl fmt::Display for SimReport {
             t.gate_evals_per_sec(),
             t.wall,
             t.partitions,
+            t.partition_wall_p50,
+            t.partition_wall_p99,
             t.partition_wall_max,
             t.partition_imbalance()
         )
@@ -725,6 +756,37 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"partition_imbalance\": 1.5"), "{json}");
         assert!(format!("{r}").contains("imbal"));
+    }
+
+    #[test]
+    fn partition_quantiles_surface_in_report_json_and_display() {
+        let scope = scoped();
+        set_phase("q");
+        for _ in 0..20 {
+            record_partition(Duration::from_millis(2));
+        }
+        record_partition(Duration::from_millis(40));
+        let r = scope.report();
+        let q = &r.phases.iter().find(|(n, _)| n == "q").unwrap().1;
+        // 2 ms lands in the [1024, 2047] µs bucket; the p50 estimate stays
+        // within it. The single 40 ms outlier pulls p99 upward.
+        assert!(
+            (Duration::from_millis(1)..Duration::from_millis(3)).contains(&q.partition_wall_p50),
+            "p50 {:?}",
+            q.partition_wall_p50
+        );
+        assert!(
+            q.partition_wall_p99 >= q.partition_wall_p50,
+            "p99 {:?} < p50 {:?}",
+            q.partition_wall_p99,
+            q.partition_wall_p50
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"partition_wall_p50_us\""), "{json}");
+        assert!(json.contains("\"partition_wall_p99_us\""), "{json}");
+        let table = format!("{r}");
+        assert!(table.contains("part p50"), "{table}");
+        assert!(table.contains("part p99"), "{table}");
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! A minimal JSON value parser.
+//!
+//! The workspace emits JSON from several hand-rolled writers (Chrome
+//! traces, the metrics registry, run-history records) and carries no
+//! serialization dependency — so consuming that output back (the `report`
+//! binary, the escaping round-trip tests) needs a parser of its own. This
+//! one covers the full JSON grammar (RFC 8259): objects, arrays, strings
+//! with every escape form including `\uXXXX` surrogate pairs, numbers,
+//! booleans, and null.
+//!
+//! Numbers are held as `f64`, which is exact for the integers the
+//! workspace writes up to 2^53; [`Value::as_u64`] round-trips those.
+//! Object members preserve insertion order and duplicate keys (last one
+//! wins on [`Value::get`]), matching what a streaming writer produces.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, members in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object (`None` for other variants or a missing
+    /// key). The *last* member wins when keys repeat.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer (floors the stored
+    /// `f64`; exact for writer output up to 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// What the parser expected or found.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte offset of the first violation.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+/// Nesting guard: our writers stay shallow, and a bound keeps a corrupted
+/// input from recursing the stack away.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.depth += 1;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.depth += 1;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte 0x{c:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("lone low surrogate"))?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one whole UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let before = p.pos;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.pos += 1;
+            }
+            p.pos > before
+        };
+        if !digits(self) {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("unrepresentable number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), Value::Num(-1250.0));
+        assert_eq!(parse("\"a b\"").unwrap(), Value::Str("a b".into()));
+    }
+
+    #[test]
+    fn parses_structures_and_lookup() {
+        let v = parse(r#"{"a": [1, {"b": "c"}], "n": null, "a2": 7}"#).unwrap();
+        assert_eq!(v.get("n"), Some(&Value::Null));
+        assert_eq!(v.get("a2").and_then(Value::as_u64), Some(7));
+        let arr = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("b").and_then(Value::as_str), Some("c"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn resolves_every_escape_form() {
+        let v = parse(r#""q\" b\\ s\/ \b \f \n \r \t u\u0041 \ud83d\ude00""#).unwrap();
+        assert_eq!(
+            v.as_str().unwrap(),
+            "q\" b\\ s/ \u{8} \u{c} \n \r \t uA \u{1F600}"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "\"\\q\"",
+            "\"\u{1}\"",
+            "01x",
+            "1 2",
+            "\"\\ud800 lone\"",
+            "nul",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Depth bound trips instead of blowing the stack.
+        let deep = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_u64), Some(2));
+    }
+}

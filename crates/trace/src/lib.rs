@@ -1,6 +1,6 @@
 //! Zero-dependency telemetry for the atspeed workspace.
 //!
-//! Three cooperating subsystems, all usable independently:
+//! Six cooperating subsystems, all usable independently:
 //!
 //! - [`span`] — hierarchical RAII **spans**. A [`Span`] guard records a
 //!   begin event on creation and an end event on drop; guards nest
@@ -16,6 +16,15 @@
 //! - [`log`] — a leveled **structured event log** (`error`/`warn`/`info`/
 //!   `debug`) emitting one JSON object per line, with key=value fields,
 //!   replacing ad-hoc `eprintln!` diagnostics.
+//! - [`profile`] — a **span-stack sampling profiler**: a background thread
+//!   samples each thread's live span stack at a configurable rate and
+//!   aggregates collapsed/folded stacks loadable by speedscope or
+//!   inferno. Off by default at the cost of one atomic load per span.
+//! - [`history`] — an append-only **run history**: one schema-versioned
+//!   JSONL record per telemetry-enabled run (git SHA, command, config
+//!   fingerprint, derived metrics, peak RSS, wall time).
+//! - [`json`] — a minimal **JSON parser** used by the report tooling and
+//!   by tests that round-trip the crate's own JSON output.
 //!
 //! # Example
 //!
@@ -43,18 +52,25 @@
 //! trace::info!("doc.example", "pipeline done"; circuit = "s27", cycles = 42);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: rss.rs carries one audited `extern "C"`
+// getrusage shim behind an explicit `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
+pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod rss;
 pub mod span;
 
+pub use history::RunRecord;
 pub use log::Level;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKindError, MetricsRegistry, MetricsSnapshot,
 };
+pub use profile::{validate_folded, Profiler};
 pub use span::{
     chrome_trace_json, set_tracing, span, span_args, tracing_enabled, write_chrome_trace, Span,
     Tracer,

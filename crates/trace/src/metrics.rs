@@ -175,6 +175,13 @@ impl Histogram {
         self.0.sum.load(Ordering::Relaxed)
     }
 
+    /// The approximate `q`-quantile (`q` in `[0, 1]`, clamped) of the
+    /// recorded samples; see [`HistogramSnapshot::approx_quantile`] for
+    /// the accuracy contract.
+    pub fn approx_quantile(&self, q: f64) -> f64 {
+        self.snapshot().approx_quantile(q)
+    }
+
     /// A consistent-enough copy of the bucket contents for reporting.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets = (0..NUM_BUCKETS)
@@ -219,6 +226,42 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The approximate `q`-quantile (`q` in `[0, 1]`, clamped), `0.0` when
+    /// empty.
+    ///
+    /// Samples are only known to bucket granularity, so the estimate
+    /// linearly interpolates inside the bucket containing the target rank:
+    /// exact when every sample in that bucket shares one value, and off by
+    /// at most the bucket width (a factor of two) otherwise. That is the
+    /// right trade for p50/p99 summaries of timing distributions spanning
+    /// many orders of magnitude.
+    pub fn approx_quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for &(lo, n) in &self.buckets {
+            let before = cum as f64;
+            cum += n;
+            if cum as f64 >= target {
+                if lo == 0 {
+                    return 0.0;
+                }
+                // Upper bound of the log2 bucket opened by `lo`; for
+                // lo = 2^63 the doubling wraps to exactly u64::MAX.
+                let hi = (lo << 1).wrapping_sub(1);
+                let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
+                let width = (hi - lo) as f64 + 1.0;
+                return (lo as f64 + frac * width).min(hi as f64);
+            }
+        }
+        // Unreachable when buckets are consistent with `count`; fall back
+        // to the largest known lower bound.
+        self.buckets.last().map_or(0.0, |&(lo, _)| lo as f64)
     }
 }
 
@@ -466,12 +509,15 @@ impl MetricsSnapshot {
         out.push_str("\n  },\n  \"histograms\": {");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             out.push_str(&format!(
-                "{}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.2}, \"buckets\": {{",
+                "{}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.2}, \
+                 \"p50\": {:.2}, \"p99\": {:.2}, \"buckets\": {{",
                 if i > 0 { "," } else { "" },
                 crate::json_escape(name),
                 h.count,
                 h.sum,
-                h.mean()
+                h.mean(),
+                h.approx_quantile(0.50),
+                h.approx_quantile(0.99),
             ));
             for (j, (lo, n)) in h.buckets.iter().enumerate() {
                 out.push_str(&format!(
@@ -529,6 +575,38 @@ mod tests {
         assert_eq!(s.sum, 1030);
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (1024, 1)]);
         assert!((s.mean() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_single_value_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.approx_quantile(0.5), 0.0, "empty histogram");
+        // 100 samples of 8 (bucket [8, 15]) and 1 sample of 1024: the p50
+        // lands in the 8-bucket near its lower edge, p99+ reaches 1024.
+        h.record_n(8, 100);
+        h.record(1024);
+        let s = h.snapshot();
+        let p50 = s.approx_quantile(0.50);
+        assert!((8.0..16.0).contains(&p50), "p50 {p50}");
+        let p999 = s.approx_quantile(0.999);
+        assert!((1024.0..2048.0).contains(&p999), "p99.9 {p999}");
+        assert_eq!(s.approx_quantile(0.0), 8.0, "q=0 is the smallest bucket");
+        // q = 1 stays within the top bucket.
+        assert!(s.approx_quantile(1.0) <= 2047.0);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(s.approx_quantile(-1.0), s.approx_quantile(0.0));
+        assert_eq!(s.approx_quantile(2.0), s.approx_quantile(1.0));
+    }
+
+    #[test]
+    fn quantiles_handle_zero_and_top_buckets() {
+        let h = Histogram::default();
+        h.record_n(0, 10);
+        assert_eq!(h.approx_quantile(0.5), 0.0, "all-zero samples");
+        h.record_n(u64::MAX, 30);
+        let p99 = h.approx_quantile(0.99);
+        assert!(p99 >= (1u64 << 63) as f64, "p99 {p99} in the top bucket");
+        assert!(p99 <= u64::MAX as f64);
     }
 
     #[test]

@@ -4,13 +4,30 @@
 //! `VmHWM` line of `/proc/self/status` — a kernel-maintained running
 //! maximum, so a single read at any point reports the peak over the whole
 //! process lifetime so far. No polling thread is needed.
+//!
+//! Off Linux (and on Linux systems without `/proc`), the POSIX
+//! `getrusage(RUSAGE_SELF)` syscall provides the same high-water mark via
+//! `ru_maxrss`. The libc call is declared here as a tiny `extern "C"`
+//! shim rather than through the `libc` crate, keeping the crate
+//! zero-dependency. Unit convention differs by platform: Linux reports
+//! `ru_maxrss` in kibibytes, macOS and iOS in bytes, other BSDs in
+//! kibibytes — the shim normalises to bytes.
 
 use crate::metrics::MetricsRegistry;
 
-/// Peak resident set size of the current process in bytes, from the
-/// `VmHWM` line of `/proc/self/status`. Returns `None` off Linux or when
-/// the field is missing or malformed.
+/// Peak resident set size of the current process in bytes: the `VmHWM`
+/// line of `/proc/self/status` where available, else
+/// `getrusage(RUSAGE_SELF).ru_maxrss`. Returns `None` only when both
+/// sources fail (no `/proc` and the syscall errored or reported zero).
 pub fn peak_rss_bytes() -> Option<u64> {
+    if let Some(rss) = proc_status_peak() {
+        return Some(rss);
+    }
+    getrusage_peak()
+}
+
+/// The `/proc/self/status` `VmHWM` source (Linux only in practice).
+fn proc_status_peak() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     parse_vm_hwm(&status)
 }
@@ -39,6 +56,64 @@ fn parse_vm_hwm(status: &str) -> Option<u64> {
     Some(kib * 1024)
 }
 
+/// `getrusage(RUSAGE_SELF)` fallback, normalised to bytes.
+#[cfg(unix)]
+fn getrusage_peak() -> Option<u64> {
+    shim::max_rss_bytes()
+}
+
+#[cfg(not(unix))]
+fn getrusage_peak() -> Option<u64> {
+    None
+}
+
+/// The audited unsafe island: one libc declaration and one syscall.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod shim {
+    /// `struct rusage` as POSIX lays it out on every mainstream 64-bit
+    /// unix (two `timeval`s, then 14 longs, of which `ru_maxrss` is the
+    /// first). Oversized spare tail absorbs any platform that appends
+    /// fields.
+    #[repr(C)]
+    struct Rusage {
+        ru_utime: [i64; 2],
+        ru_stime: [i64; 2],
+        ru_maxrss: i64,
+        _rest: [i64; 16],
+    }
+
+    extern "C" {
+        fn getrusage(who: i32, usage: *mut Rusage) -> i32;
+    }
+
+    const RUSAGE_SELF: i32 = 0;
+
+    /// `ru_maxrss` in bytes, or `None` on syscall failure / zero report.
+    pub(super) fn max_rss_bytes() -> Option<u64> {
+        let mut usage = Rusage {
+            ru_utime: [0; 2],
+            ru_stime: [0; 2],
+            ru_maxrss: 0,
+            _rest: [0; 16],
+        };
+        // SAFETY: `usage` is a valid, writable, sufficiently large (the
+        // spare tail over-allocates vs every known layout) rusage out
+        // parameter, and RUSAGE_SELF is always a legal `who`.
+        let rc = unsafe { getrusage(RUSAGE_SELF, &mut usage) };
+        if rc != 0 || usage.ru_maxrss <= 0 {
+            return None;
+        }
+        let raw = usage.ru_maxrss as u64;
+        // macOS/iOS report bytes; Linux and the BSDs report kibibytes.
+        if cfg!(any(target_os = "macos", target_os = "ios")) {
+            Some(raw)
+        } else {
+            Some(raw * 1024)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,10 +126,11 @@ mod tests {
         assert_eq!(parse_vm_hwm("VmHWM:\tnot a number kB\n"), None);
     }
 
-    #[cfg(target_os = "linux")]
+    /// The portable entry point must measure on every supported host
+    /// platform (VmHWM on Linux, getrusage elsewhere) — not just Linux.
     #[test]
-    fn measures_this_process() {
-        let rss = peak_rss_bytes().expect("linux exposes VmHWM");
+    fn measures_this_process_on_the_host_platform() {
+        let rss = peak_rss_bytes().expect("either /proc or getrusage works");
         // Any live test binary has at least a megabyte resident.
         assert!(rss > 1 << 20, "implausible peak RSS {rss}");
 
@@ -64,5 +140,16 @@ mod tests {
         // The gauge is a running max: recording again never lowers it.
         record_peak_rss(&reg);
         assert!(reg.gauge("process/peak_rss_bytes").get() as u64 >= recorded);
+    }
+
+    /// The fallback path must report a plausible figure on its own — no
+    /// cross-check against `/proc`, because containerised kernels are
+    /// known to account the two interfaces differently.
+    #[cfg(unix)]
+    #[test]
+    fn getrusage_fallback_reports_a_plausible_peak() {
+        let ru = getrusage_peak().expect("getrusage reports on unix");
+        assert!(ru > 1 << 20, "implausible getrusage peak {ru}");
+        assert!(ru < 1 << 40, "implausible getrusage peak {ru}");
     }
 }

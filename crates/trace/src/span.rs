@@ -152,6 +152,7 @@ impl Tracer {
             return Span {
                 tracer: None,
                 name: Cow::Borrowed(""),
+                profiled: false,
             };
         }
         self.span_slow(name.into(), None)
@@ -168,6 +169,7 @@ impl Tracer {
             return Span {
                 tracer: None,
                 name: Cow::Borrowed(""),
+                profiled: false,
             };
         }
         self.span_slow(name.into(), Some(render_args(args)))
@@ -178,6 +180,7 @@ impl Tracer {
         Span {
             tracer: Some(self),
             name,
+            profiled: false,
         }
     }
 
@@ -256,16 +259,23 @@ fn render_args(args: &[(&str, &dyn fmt::Display)]) -> String {
 
 /// RAII guard for one span: records the end event on drop.
 ///
-/// Inert (records nothing) when created from a disabled tracer.
+/// Inert (records nothing) when created from a disabled tracer. Spans
+/// opened through the free functions also appear as one frame on the
+/// process-wide profiler's stack while that profiler is enabled
+/// (`profiled` remembers whether a matching pop is owed on drop).
 #[derive(Debug)]
 #[must_use = "a span ends when its guard drops; binding it to `_` ends it immediately"]
 pub struct Span<'a> {
     tracer: Option<&'a Tracer>,
     name: Cow<'static, str>,
+    profiled: bool,
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
+        if self.profiled {
+            crate::profile::pop();
+        }
         if let Some(tracer) = self.tracer {
             tracer.emit(std::mem::take(&mut self.name), Phase::End, None);
         }
@@ -295,29 +305,51 @@ pub fn tracing_enabled() -> bool {
     GLOBAL.get().is_some_and(Tracer::is_enabled)
 }
 
-/// Opens a span on the process-wide tracer. Near-free while tracing is
-/// disabled.
+/// Opens a span on the process-wide tracer, and pushes a frame onto the
+/// process-wide profiler's span stack when profiling is enabled.
+/// Near-free while both are disabled (one relaxed atomic load each).
 #[inline]
 pub fn span(name: impl Into<Cow<'static, str>>) -> Span<'static> {
+    let name = name.into();
+    let profiled = crate::profile::push(&name);
     match GLOBAL.get() {
-        Some(t) if t.is_enabled() => t.span_slow(name.into(), None),
+        Some(t) if t.is_enabled() => {
+            t.emit(name.clone(), Phase::Begin, None);
+            Span {
+                tracer: Some(t),
+                name,
+                profiled,
+            }
+        }
         _ => Span {
             tracer: None,
             name: Cow::Borrowed(""),
+            profiled,
         },
     }
 }
 
-/// Opens a span with arguments on the process-wide tracer.
+/// Opens a span with arguments on the process-wide tracer. Profiles like
+/// [`span`] (arguments are not part of the profile frame).
 pub fn span_args(
     name: impl Into<Cow<'static, str>>,
     args: &[(&str, &dyn fmt::Display)],
 ) -> Span<'static> {
+    let name = name.into();
+    let profiled = crate::profile::push(&name);
     match GLOBAL.get() {
-        Some(t) if t.is_enabled() => t.span_slow(name.into(), Some(render_args(args))),
+        Some(t) if t.is_enabled() => {
+            t.emit(name.clone(), Phase::Begin, Some(render_args(args)));
+            Span {
+                tracer: Some(t),
+                name,
+                profiled,
+            }
+        }
         _ => Span {
             tracer: None,
             name: Cow::Borrowed(""),
+            profiled,
         },
     }
 }

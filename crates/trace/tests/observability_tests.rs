@@ -1,0 +1,230 @@
+//! Observability contract tests: Chrome-trace escaping round-trips
+//! through the crate's own JSON parser for adversarial span names and
+//! argument values, and the sampling profiler — pumped by hand, no
+//! timers — attributes samples to the right threads in structurally
+//! valid collapsed/folded output.
+
+use std::borrow::Cow;
+use std::sync::{Arc, Barrier};
+
+use atspeed_trace::json::{parse, Value};
+use atspeed_trace::profile::Profiler;
+use atspeed_trace::{validate_folded, Tracer};
+
+// ---------------------------------------------------------------------
+// Chrome-trace escaping: property-style round trip.
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 so the "property test" is reproducible.
+fn rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Characters chosen to hit every escaping path: the two mandatory
+/// escapes, every control-character shorthand, raw controls that need
+/// `\u00XX`, multi-byte BMP text, and astral-plane codepoints that
+/// exercise surrogate-pair handling in the parser.
+const PALETTE: &[char] = &[
+    '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{0}', '\u{1}', '\u{1f}', ' ', 'a', 'Z',
+    '0', ';', ':', '{', '}', '[', ']', ',', 'é', 'Ω', '→', '€', '\u{7f}', '😀', '𝕊', '🧪',
+];
+
+fn random_string(next: &mut impl FnMut() -> u64) -> String {
+    let len = (next() % 24) as usize;
+    (0..len)
+        .map(|_| PALETTE[(next() % PALETTE.len() as u64) as usize])
+        .collect()
+}
+
+/// Every generated (name, key, value) triple must come back byte-for-byte
+/// after rendering to Chrome trace JSON and re-parsing with
+/// `atspeed_trace::json` — the writer's escaping and the reader's
+/// unescaping are exact inverses on arbitrary text.
+#[test]
+fn chrome_trace_escaping_round_trips_adversarial_strings() {
+    let mut next = rng(0xC0FFEE);
+    for case in 0..200u32 {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let name = random_string(&mut next);
+        let key = random_string(&mut next);
+        let value = random_string(&mut next);
+        {
+            let _sp = t.span_args(name.clone(), &[(key.as_str(), &value)]);
+        }
+        let json = t.chrome_trace_json();
+        let doc = parse(&json)
+            .unwrap_or_else(|e| panic!("case {case}: emitted JSON must parse: {e}\n{json}"));
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2, "case {case}: one B and one E event");
+        let begin = &events[0];
+        assert_eq!(
+            begin.get("name").and_then(Value::as_str),
+            Some(name.as_str()),
+            "case {case}: span name must round-trip"
+        );
+        let args = begin
+            .get("args")
+            .and_then(Value::as_obj)
+            .expect("begin event carries args");
+        assert_eq!(args.len(), 1, "case {case}");
+        assert_eq!(args[0].0, key, "case {case}: arg key must round-trip");
+        assert_eq!(
+            args[0].1.as_str(),
+            Some(value.as_str()),
+            "case {case}: arg value must round-trip"
+        );
+        // The end event carries the same name and no args.
+        assert_eq!(
+            events[1].get("name").and_then(Value::as_str),
+            Some(name.as_str())
+        );
+        assert_eq!(events[1].get("ph").and_then(Value::as_str), Some("E"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Profiler: deterministic, manually-pumped sampling.
+// ---------------------------------------------------------------------
+
+/// A profiler that was never enabled records nothing, no matter how many
+/// spans run or how often it is pumped.
+#[test]
+fn disabled_profiler_stays_empty_under_load() {
+    let p = Profiler::new();
+    for _ in 0..100 {
+        assert!(!p.push(&Cow::Borrowed("work")));
+        assert_eq!(p.sample_once(), 0);
+    }
+    assert_eq!(p.num_samples(), 0);
+    assert_eq!(p.folded(), "");
+    assert_eq!(validate_folded(&p.folded()), Ok(0));
+}
+
+/// Two threads hold different span stacks; every manual pump observes
+/// both, and the folded output attributes each stack to its thread's
+/// label with exact counts.
+#[test]
+fn manual_pump_attributes_samples_to_the_right_thread() {
+    let p = Arc::new(Profiler::new());
+    p.set_enabled(true);
+
+    // Rendezvous: worker builds its stack, main pumps, worker unwinds.
+    let ready = Arc::new(Barrier::new(2));
+    let done = Arc::new(Barrier::new(2));
+    let worker = {
+        let (p, ready, done) = (Arc::clone(&p), Arc::clone(&ready), Arc::clone(&done));
+        std::thread::Builder::new()
+            .name("omission-worker".to_owned())
+            .spawn(move || {
+                assert!(p.push(&Cow::Borrowed("phase2")));
+                assert!(p.push(&Cow::Borrowed("omit attempt")));
+                ready.wait();
+                done.wait();
+                p.pop();
+                p.pop();
+            })
+            .expect("spawn worker")
+    };
+
+    assert!(p.push(&Cow::Borrowed("pipeline")));
+    ready.wait();
+    // Both stacks are now frozen: 3 pumps see 2 live stacks each.
+    for _ in 0..3 {
+        assert_eq!(p.sample_once(), 2);
+    }
+    done.wait();
+    worker.join().expect("worker exits cleanly");
+    p.pop();
+
+    let folded = p.folded();
+    let total = validate_folded(&folded).expect("folded output is structurally valid");
+    assert_eq!(total, 6, "3 pumps x 2 threads:\n{folded}");
+    // Worker frames fold under the worker's thread name, with whitespace
+    // sanitized; the main-thread stack never mixes in.
+    assert!(
+        folded.contains("omission-worker;phase2;omit_attempt 3"),
+        "{folded}"
+    );
+    let main_line = folded
+        .lines()
+        .find(|l| l.ends_with(";pipeline 3"))
+        .unwrap_or_else(|| panic!("main-thread stack missing:\n{folded}"));
+    assert!(
+        !main_line.starts_with("omission-worker"),
+        "main-thread samples must not attribute to the worker: {main_line}"
+    );
+}
+
+/// The folded output obeys the collapsed-stack grammar speedscope and
+/// inferno ingest — even when span names try to smuggle in the format's
+/// own separators.
+#[test]
+fn folded_output_is_structurally_valid_collapsed_format() {
+    let p = Profiler::new();
+    p.set_enabled(true);
+    assert!(p.push(&Cow::Borrowed("phase 1;2")));
+    assert!(p.push(&Cow::Borrowed("fault G17 s-a-1\nnote")));
+    for _ in 0..5 {
+        p.sample_once();
+    }
+    p.pop();
+    p.pop();
+
+    let folded = p.folded();
+    assert_eq!(validate_folded(&folded), Ok(5));
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(count.parse::<u64>().expect("integer count") > 0);
+        for frame in stack.split(';') {
+            assert!(!frame.is_empty(), "no empty frames in {line:?}");
+            assert!(
+                !frame.contains(char::is_whitespace),
+                "frames are whitespace-free in {line:?}"
+            );
+        }
+    }
+    // The reserved characters were sanitized, not dropped.
+    assert!(
+        folded.contains("phase_1:2;fault_G17_s-a-1_note"),
+        "{folded}"
+    );
+}
+
+/// The span free functions feed the process-wide profiler: while it is
+/// enabled, an open span is one frame on the live stack even with the
+/// tracer off; after disabling, new spans leave no trace.
+#[test]
+fn free_spans_feed_the_global_profiler_only_while_enabled() {
+    let p = atspeed_trace::profile::global();
+    p.set_enabled(true);
+    {
+        let _sp = atspeed_trace::span("integration.outer");
+        let _inner = atspeed_trace::span("integration.inner");
+        p.sample_once();
+    }
+    p.set_enabled(false);
+    let with = p.num_samples();
+    assert!(with >= 1, "the pump saw the live span stack");
+    {
+        let _sp = atspeed_trace::span("integration.after");
+        p.sample_once();
+    }
+    assert_eq!(p.num_samples(), with, "disabled profiler gains no samples");
+    let folded = p.folded();
+    assert!(
+        folded.contains("integration.outer;integration.inner"),
+        "{folded}"
+    );
+    validate_folded(&folded).expect("global profiler output validates");
+}

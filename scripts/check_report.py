@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Sanity-check a run report produced by the `report` binary.
+
+Usage:
+
+    check_report.py REPORT.html [HISTORY.jsonl]
+
+Asserts the HTML is a single self-contained document — no external
+references of any kind (http(s)/protocol-relative URLs, scripts, link
+tags, CSS imports) — and that the expected sections render. When a
+history JSONL path is given, every line must be a schema-versioned run
+record with the mandatory fields, and the report must render a trend
+whenever two or more comparable records exist.
+"""
+
+import json
+import re
+import sys
+
+HISTORY_SCHEMA = 1
+HISTORY_FIELDS = {
+    "schema": int,
+    "unix_time_s": (int, float),
+    "git_sha": str,
+    "command": str,
+    "config_fingerprint": str,
+    "wall_us": (int, float),
+    "peak_rss_bytes": (int, float),
+    "derived": dict,
+}
+
+# Anything that would make a browser touch the network or local files.
+EXTERNAL_REF_PATTERNS = [
+    r"https?://",
+    r'(?:src|href)\s*=\s*["\'](?!#)',
+    r"<script\b",
+    r"<link\b",
+    r"<iframe\b",
+    r"@import",
+    r"url\s*\(",
+]
+
+
+def check_html(path):
+    with open(path, encoding="utf-8") as f:
+        html = f.read()
+    if not html.lstrip().lower().startswith("<!doctype html>"):
+        sys.exit("error: report is not an HTML document")
+    for pat in EXTERNAL_REF_PATTERNS:
+        m = re.search(pat, html, re.IGNORECASE)
+        if m:
+            start = max(0, m.start() - 40)
+            snippet = html[start:m.end() + 40].replace("\n", " ")
+            sys.exit(f"error: external reference {pat!r} in report: ...{snippet}...")
+    sections = re.findall(r"<h2>([^<]+)</h2>", html)
+    if not sections:
+        sys.exit("error: report has no sections")
+    return html, sections
+
+
+def check_history(path):
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"error: history line {i} is not JSON: {e}")
+            for field, ty in HISTORY_FIELDS.items():
+                if not isinstance(rec.get(field), ty):
+                    sys.exit(f"error: history line {i}: bad or missing `{field}`: "
+                             f"{rec.get(field)!r}")
+            if rec["schema"] != HISTORY_SCHEMA:
+                sys.exit(f"error: history line {i}: schema {rec['schema']} != "
+                         f"{HISTORY_SCHEMA}")
+            for k, v in rec["derived"].items():
+                if not isinstance(v, (int, float)):
+                    sys.exit(f"error: history line {i}: derived.{k} is not a number")
+            records.append(rec)
+    if not records:
+        sys.exit(f"error: {path} holds no history records")
+    return records
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(f"usage: {sys.argv[0]} REPORT.html [HISTORY.jsonl]")
+    html, sections = check_html(sys.argv[1])
+
+    msg = f"OK: self-contained report with sections {sections}"
+    if len(sys.argv) == 3:
+        records = check_history(sys.argv[2])
+        fingerprints = [r["config_fingerprint"] for r in records]
+        comparable = max(fingerprints.count(fp) for fp in set(fingerprints))
+        if comparable >= 2 and "Trends" not in sections:
+            sys.exit(f"error: {comparable} comparable history records but the "
+                     f"report renders no Trends section")
+        msg += (f"; {len(records)} schema-v{HISTORY_SCHEMA} history records "
+                f"({comparable} comparable)")
+    print(msg)
+
+
+if __name__ == "__main__":
+    main()
