@@ -1,5 +1,6 @@
 //! Kernel micro-benchmarks: legacy pointer walker vs compiled full pass vs
-//! event-driven delta path, over the ISCAS-89 circuits of the catalog.
+//! event-driven delta path vs the SIMD-widened (`W3x4`) and cone-fused
+//! kernels, over the ISCAS-89 circuits of the catalog.
 //!
 //! Besides the human-readable criterion output, the bench writes a
 //! machine-readable JSON summary (per circuit, per kernel: rounds, wall
@@ -13,15 +14,21 @@
 //! The workload is a sequence of reseed-and-evaluate rounds: round 0
 //! assigns every source net a random 3-valued word, later rounds reseed a
 //! small random subset — the regime the event-driven path is built for.
-//! All three kernels compute identical values (the differential tests in
-//! `atspeed-sim` prove it); only the traversal strategy differs.
+//! All kernels compute identical values on the nets they guarantee (the
+//! differential tests in `atspeed-sim` prove it); only the traversal
+//! strategy and pass width differ. Gate evaluations are counted in
+//! gate-words, so a wide pass reports `LANES` evaluations per gate and
+//! `gate_evals_per_sec` stays comparable across widths.
 
 use atspeed_atpg::compact::{omit_vectors, OmissionConfig};
 use atspeed_atpg::random_t0;
 use atspeed_circuit::catalog::{self, BenchmarkInfo, Suite};
 use atspeed_circuit::{NetId, Netlist};
 use atspeed_sim::fault::{FaultId, FaultUniverse};
-use atspeed_sim::{stats, CombSim, CompiledSim, SeqFaultSim, SimConfig, SimScratch, V3, W3};
+use atspeed_sim::{
+    stats, CombSim, CompiledSim, FusedSim, SeqFaultSim, SimConfig, SimScratch, W3x4,
+    FUSED_SLICE_PAD, V3, W3,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
@@ -127,6 +134,42 @@ fn run_event(w: &Workload, sim: &CompiledSim<'_>, scratch: &mut SimScratch) {
     black_box(scratch.value(NetId::from_index(0)));
 }
 
+/// One timed sweep with wide (`W3x4`) compiled full passes: each round's
+/// reseed value is splat across all lanes, so one pass does `LANES` words
+/// of gate work.
+fn run_wide(w: &Workload, sim: &CompiledSim<'_>, wvals: &mut [W3x4]) {
+    for round in &w.rounds {
+        for &(net, val) in round {
+            wvals[net.index()] = W3x4::splat(val);
+        }
+        sim.eval_slice_wide(wvals);
+    }
+    black_box(wvals.first().copied());
+}
+
+/// One timed sweep with scalar cone-fused full passes.
+fn run_fused(w: &Workload, sim: &FusedSim<'_>, vals: &mut [W3]) {
+    for round in &w.rounds {
+        for &(net, val) in round {
+            vals[net.index()] = val;
+        }
+        sim.eval_slice(vals);
+    }
+    black_box(vals.first().copied());
+}
+
+/// One timed sweep with wide cone-fused full passes — the fastest engine,
+/// and the one CI gates against the scalar compiled baseline.
+fn run_wide_fused(w: &Workload, sim: &FusedSim<'_>, wvals: &mut [W3x4]) {
+    for round in &w.rounds {
+        for &(net, val) in round {
+            wvals[net.index()] = W3x4::splat(val);
+        }
+        sim.eval_slice_wide(wvals);
+    }
+    black_box(wvals.first().copied());
+}
+
 struct KernelRow {
     kernel: &'static str,
     wall_s: f64,
@@ -134,61 +177,69 @@ struct KernelRow {
     events_skipped: u64,
 }
 
-fn measure(f: impl FnOnce()) -> (f64, u64, u64) {
-    stats::reset();
-    let start = Instant::now();
-    f();
-    let wall = start.elapsed().as_secs_f64();
-    let t = stats::report().totals();
-    (wall, t.gate_evals, t.events_skipped)
-}
+/// Timed measurement windows per kernel (window 0 is an untimed warm-up).
+/// Windows are interleaved across kernels — every kernel gets one window,
+/// then every kernel gets the next — and each kernel keeps its fastest
+/// window. The JSON numbers feed a CI throughput-*ratio* gate, so what
+/// matters is that the best windows of two kernels land in the same quiet
+/// phases of a noisy shared runner, which interleaving makes likely and
+/// sequential per-kernel measurement does not.
+const MEASURE_WINDOWS: usize = 5;
 
 fn measure_circuit(info: &BenchmarkInfo, num_rounds: usize, repeats: usize) -> Vec<KernelRow> {
     let w = make_workload(info, num_rounds);
     let cc = w.nl.compiled();
-    let mut rows = Vec::new();
 
     let mut legacy = CombSim::new(&w.nl);
-    let mut vals = vec![W3::ALL_X; w.nl.num_nets()];
-    let (wall, evals, skipped) = measure(|| {
-        for _ in 0..repeats {
-            run_legacy(&w, &mut legacy, &mut vals);
-        }
-    });
-    rows.push(KernelRow {
-        kernel: "legacy",
-        wall_s: wall,
-        gate_evals: evals,
-        events_skipped: skipped,
-    });
-
+    let mut lvals = vec![W3::ALL_X; w.nl.num_nets()];
     let sim = CompiledSim::new(cc);
-    let mut vals = vec![W3::ALL_X; w.nl.num_nets()];
-    let (wall, evals, skipped) = measure(|| {
-        for _ in 0..repeats {
-            run_compiled(&w, &sim, &mut vals);
-        }
-    });
-    rows.push(KernelRow {
-        kernel: "compiled",
-        wall_s: wall,
-        gate_evals: evals,
-        events_skipped: skipped,
-    });
-
+    let mut cvals = vec![W3::ALL_X; w.nl.num_nets()];
     let mut scratch = SimScratch::new(cc);
-    let (wall, evals, skipped) = measure(|| {
-        for _ in 0..repeats {
-            run_event(&w, &sim, &mut scratch);
-        }
-    });
-    rows.push(KernelRow {
-        kernel: "event",
-        wall_s: wall,
-        gate_evals: evals,
-        events_skipped: skipped,
-    });
+    let mut wvals = vec![W3x4::ALL_X; w.nl.num_nets()];
+    let fsim = FusedSim::new(cc, w.nl.fused());
+    let mut fvals = vec![W3::ALL_X; w.nl.num_nets() + FUSED_SLICE_PAD];
+    let mut fwvals = vec![W3x4::ALL_X; w.nl.num_nets() + FUSED_SLICE_PAD];
 
+    type Runner<'a> = (&'static str, Box<dyn FnMut() + 'a>);
+    let mut runners: Vec<Runner<'_>> = vec![
+        (
+            "legacy",
+            Box::new(|| run_legacy(&w, &mut legacy, &mut lvals)),
+        ),
+        ("compiled", Box::new(|| run_compiled(&w, &sim, &mut cvals))),
+        ("event", Box::new(|| run_event(&w, &sim, &mut scratch))),
+        ("wide", Box::new(|| run_wide(&w, &sim, &mut wvals))),
+        ("fused", Box::new(|| run_fused(&w, &fsim, &mut fvals))),
+        (
+            "wide_fused",
+            Box::new(|| run_wide_fused(&w, &fsim, &mut fwvals)),
+        ),
+    ];
+
+    let mut rows: Vec<KernelRow> = Vec::new();
+    for window in 0..MEASURE_WINDOWS {
+        for (k, (kernel, run)) in runners.iter_mut().enumerate() {
+            stats::reset();
+            let start = Instant::now();
+            for _ in 0..repeats {
+                run();
+            }
+            let wall = start.elapsed().as_secs_f64();
+            let t = stats::report().totals();
+            if window == 0 {
+                // Warm-up window: record the (deterministic) counter
+                // totals, discard the cold wall time.
+                rows.push(KernelRow {
+                    kernel,
+                    wall_s: f64::INFINITY,
+                    gate_evals: t.gate_evals,
+                    events_skipped: t.events_skipped,
+                });
+            } else if wall < rows[k].wall_s {
+                rows[k].wall_s = wall;
+            }
+        }
+    }
     rows
 }
 
@@ -416,7 +467,11 @@ fn emit_json(
 fn bench_kernels(c: &mut Criterion) {
     // Criterion timings for humans; a fixed-round measured pass for the
     // JSON artifact. Smoke mode (plain `cargo test`) keeps both tiny.
-    let (rounds, repeats, samples) = if bench_mode() { (64, 4, 10) } else { (4, 1, 1) };
+    let (rounds, repeats, samples) = if bench_mode() {
+        (64, 16, 10)
+    } else {
+        (4, 1, 1)
+    };
 
     let mut summary = Vec::new();
     for info in selected() {
@@ -434,6 +489,15 @@ fn bench_kernels(c: &mut Criterion) {
         g.bench_function("compiled", |b| b.iter(|| run_compiled(&w, &sim, &mut vals)));
         let mut scratch = SimScratch::new(cc);
         g.bench_function("event", |b| b.iter(|| run_event(&w, &sim, &mut scratch)));
+        let mut wvals = vec![W3x4::ALL_X; w.nl.num_nets()];
+        g.bench_function("wide", |b| b.iter(|| run_wide(&w, &sim, &mut wvals)));
+        let fsim = FusedSim::new(cc, w.nl.fused());
+        let mut vals = vec![W3::ALL_X; w.nl.num_nets() + FUSED_SLICE_PAD];
+        g.bench_function("fused", |b| b.iter(|| run_fused(&w, &fsim, &mut vals)));
+        let mut wvals = vec![W3x4::ALL_X; w.nl.num_nets() + FUSED_SLICE_PAD];
+        g.bench_function("wide_fused", |b| {
+            b.iter(|| run_wide_fused(&w, &fsim, &mut wvals))
+        });
         g.finish();
 
         summary.push((info, measure_circuit(&info, rounds, repeats)));

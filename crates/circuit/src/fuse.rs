@@ -1,0 +1,673 @@
+//! Cone fusion over a [`CompiledCircuit`]: collapsing fanout-free cones of
+//! simple gates into single evaluable *supergates* (fused units).
+//!
+//! A [`FusedCircuit`] partitions the gate set into **units**. Each unit is
+//! either a single gate or a fanout-free cone of [`MIN_CONE`]..=[`MAX_CONE`]
+//! gates whose interior nets have exactly one consumer and are never
+//! observed (no primary-output or flip-flop-D sink). A unit is evaluated
+//! as a straight-line micro-program over its ops (the cone's gates in
+//! topological order): operands are either *external* net loads or
+//! *register* references to earlier ops in the same unit, and interior
+//! results never touch the net value array — only the cone root is stored.
+//!
+//! For units with at most [`MAX_LUT_INPUTS`] distinct external inputs, the
+//! pass additionally tabulates the unit's complete ternary (0/1/X)
+//! truth table — `3^k` entries, built by enumerating every input
+//! combination through the cone gate by gate, so it is X-correct by
+//! construction and exactly equals per-gate composition. The kernel does
+//! **not** evaluate through the table (register micro-programs are faster
+//! at 64-slot-word width); it is stored as the unit's functional
+//! specification and used as a cross-checking oracle by the simulator's
+//! tests and debug assertions.
+//!
+//! After a fused evaluation pass only *root* nets (and source nets) hold
+//! valid values; interior nets are stale. Consumers that read arbitrary
+//! nets must not run on fused results — see the simulator crate for the
+//! per-engine contract.
+
+use crate::compiled::CompiledCircuit;
+use crate::gate::GateKind;
+use crate::id::{GateId, NetId};
+
+/// Minimum gate count for a multi-gate fused cone.
+pub const MIN_CONE: usize = 3;
+/// Maximum gate count per fused cone.
+pub const MAX_CONE: usize = 6;
+/// Maximum distinct external inputs for which a ternary LUT is tabulated.
+pub const MAX_LUT_INPUTS: usize = 4;
+
+/// Sentinel for "no unit" in net-indexed unit maps.
+pub const NO_UNIT: u32 = u32::MAX;
+
+/// Operand arguments with this bit set refer to an earlier op (register)
+/// of the same unit; otherwise the argument is a [`NetId`] index.
+const REG_BIT: u32 = 1 << 31;
+
+/// One original gate inside a fused unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedOp {
+    /// The gate's function.
+    pub kind: GateKind,
+    /// The original gate.
+    pub gate: GateId,
+    /// The gate's output net (stored only when this op is the unit root).
+    pub out: NetId,
+}
+
+/// Ternary LUT entry encoding: known-0.
+pub const T0: u8 = 0;
+/// Ternary LUT entry encoding: known-1.
+pub const T1: u8 = 1;
+/// Ternary LUT entry encoding: unknown (X).
+pub const TX: u8 = 2;
+
+#[inline]
+fn t_and(a: u8, b: u8) -> u8 {
+    if a == T0 || b == T0 {
+        T0
+    } else if a == T1 && b == T1 {
+        T1
+    } else {
+        TX
+    }
+}
+
+#[inline]
+fn t_or(a: u8, b: u8) -> u8 {
+    if a == T1 || b == T1 {
+        T1
+    } else if a == T0 && b == T0 {
+        T0
+    } else {
+        TX
+    }
+}
+
+#[inline]
+fn t_xor(a: u8, b: u8) -> u8 {
+    if a == TX || b == TX {
+        TX
+    } else {
+        a ^ b
+    }
+}
+
+#[inline]
+fn t_not(a: u8) -> u8 {
+    match a {
+        T0 => T1,
+        T1 => T0,
+        _ => TX,
+    }
+}
+
+/// Evaluates one gate over ternary-encoded inputs (the LUT builder's
+/// reference semantics — identical truth tables to the simulator's 3-valued
+/// logic by inspection of both definitions).
+fn t_eval(kind: GateKind, inputs: &[u8]) -> u8 {
+    let first = inputs[0];
+    let base = match kind {
+        GateKind::And | GateKind::Nand => inputs[1..].iter().fold(first, |a, &b| t_and(a, b)),
+        GateKind::Or | GateKind::Nor => inputs[1..].iter().fold(first, |a, &b| t_or(a, b)),
+        GateKind::Xor | GateKind::Xnor => inputs[1..].iter().fold(first, |a, &b| t_xor(a, b)),
+        GateKind::Not | GateKind::Buf => first,
+    };
+    if kind.inverts() {
+        t_not(base)
+    } else {
+        base
+    }
+}
+
+/// The cone-fusion view of a [`CompiledCircuit`]: a topologically ordered
+/// partition of the gates into fused units, flat-encoded CSR-style.
+#[derive(Debug, Clone)]
+pub struct FusedCircuit {
+    num_gates: usize,
+    num_nets: usize,
+    max_unit_level: u32,
+    // Units, ordered by (root level, root gate id): unit u owns ops
+    // `unit_offsets[u] .. unit_offsets[u + 1]`, in topological order with
+    // the root last.
+    unit_offsets: Vec<u32>,
+    ops: Vec<FusedOp>,
+    // Operands of global op `i`: `arg_offsets[i] .. arg_offsets[i + 1]`.
+    // `REG_BIT` flags a unit-local register (earlier-op index), otherwise
+    // the value is a NetId index (an external load).
+    arg_offsets: Vec<u32>,
+    args: Vec<u32>,
+    // Root gate / root net / root level per unit.
+    roots: Vec<GateId>,
+    root_nets: Vec<NetId>,
+    unit_levels: Vec<u32>,
+    // Owning unit per original gate (total: every gate is in one unit).
+    unit_of_gate: Vec<u32>,
+    // Units loading each net as an external input (deduped), CSR by net.
+    ufan_offsets: Vec<u32>,
+    ufan_units: Vec<u32>,
+    // Unit owning each *interior* net (NO_UNIT elsewhere), for marking
+    // units that need the gate-by-gate override path.
+    interior_unit: Vec<u32>,
+    // Distinct external input nets per unit, in first-use order, CSR.
+    ext_offsets: Vec<u32>,
+    ext_nets: Vec<NetId>,
+    // Ternary LUT per unit (empty span when not tabulated): 3^k entries of
+    // T0/T1/TX, indexed by sum(v_i * 3^i) over the unit's external inputs.
+    lut_offsets: Vec<u32>,
+    luts: Vec<u8>,
+}
+
+impl FusedCircuit {
+    /// Runs the fusion pass over `cc`.
+    pub fn fuse(cc: &CompiledCircuit) -> FusedCircuit {
+        let ng = cc.num_gates();
+        let nn = cc.num_nets();
+
+        // Net -> driving gate (only meaningful where gate_driven).
+        let mut driver = vec![u32::MAX; nn];
+        for gi in 0..ng {
+            let gid = GateId::from_index(gi);
+            driver[cc.output(gid).index()] = gi as u32;
+        }
+        // A net is interior-eligible when its driver is a gate, it feeds
+        // exactly one gate, and nothing observes it.
+        let interior_ok = |net: NetId| -> bool {
+            cc.gate_driven(net) && !cc.observed(net) && cc.fanout_gates(net).len() == 1
+        };
+
+        // Reverse-schedule sweep: every still-unassigned gate roots a new
+        // cone and absorbs interior-eligible input drivers breadth-first
+        // up to MAX_CONE gates. Cones below MIN_CONE demote to a
+        // single-gate unit (the absorbed gates return to the pool — they
+        // appear later in the reverse sweep and root their own units).
+        let mut assigned = vec![false; ng];
+        let mut cones: Vec<Vec<GateId>> = Vec::new();
+        for &root in cc.schedule().iter().rev() {
+            if assigned[root.index()] {
+                continue;
+            }
+            let mut cone = vec![root];
+            let mut i = 0;
+            while i < cone.len() && cone.len() < MAX_CONE {
+                let g = cone[i];
+                i += 1;
+                for &net in cc.inputs(g) {
+                    if cone.len() >= MAX_CONE {
+                        break;
+                    }
+                    if !interior_ok(net) {
+                        continue;
+                    }
+                    let d = GateId::from_index(driver[net.index()] as usize);
+                    if !assigned[d.index()] && !cone.contains(&d) {
+                        cone.push(d);
+                    }
+                }
+            }
+            if cone.len() < MIN_CONE {
+                cone.truncate(1);
+            }
+            for &g in &cone {
+                assigned[g.index()] = true;
+            }
+            // Topological order inside the unit: levels strictly order a
+            // fanout-free cone's dependencies; ties (unrelated gates at
+            // one level) break by id for determinism.
+            cone.sort_by_key(|&g| (cc.gate_level(g), g.index()));
+            debug_assert_eq!(*cone.last().unwrap(), root, "root has the highest level");
+            cones.push(cone);
+        }
+        // Topological unit order: every external dependency's root sits at
+        // a strictly smaller level than this unit's root.
+        cones.sort_by_key(|c| {
+            let root = *c.last().unwrap();
+            (cc.gate_level(root), root.index())
+        });
+
+        let mut fc = FusedCircuit {
+            num_gates: ng,
+            num_nets: nn,
+            max_unit_level: 0,
+            unit_offsets: vec![0],
+            ops: Vec::with_capacity(ng),
+            arg_offsets: vec![0],
+            args: Vec::new(),
+            roots: Vec::with_capacity(cones.len()),
+            root_nets: Vec::with_capacity(cones.len()),
+            unit_levels: Vec::with_capacity(cones.len()),
+            unit_of_gate: vec![NO_UNIT; ng],
+            ufan_offsets: Vec::new(),
+            ufan_units: Vec::new(),
+            interior_unit: vec![NO_UNIT; nn],
+            ext_offsets: vec![0],
+            ext_nets: Vec::new(),
+            lut_offsets: vec![0],
+            luts: Vec::new(),
+        };
+
+        for (u, cone) in cones.iter().enumerate() {
+            let base = fc.ops.len();
+            let root = *cone.last().unwrap();
+            let mut ext: Vec<NetId> = Vec::new();
+            for (j, &g) in cone.iter().enumerate() {
+                fc.unit_of_gate[g.index()] = u as u32;
+                let out = cc.output(g);
+                if j + 1 < cone.len() {
+                    fc.interior_unit[out.index()] = u as u32;
+                }
+                fc.ops.push(FusedOp {
+                    kind: cc.kind(g),
+                    gate: g,
+                    out,
+                });
+                for &net in cc.inputs(g) {
+                    // A register when an earlier op of this unit drives it.
+                    let reg = cone[..j]
+                        .iter()
+                        .position(|&p| cc.output(p) == net)
+                        .map(|p| p as u32 | REG_BIT);
+                    fc.args.push(reg.unwrap_or_else(|| {
+                        if !ext.contains(&net) {
+                            ext.push(net);
+                        }
+                        net.index() as u32
+                    }));
+                }
+                fc.arg_offsets.push(fc.args.len() as u32);
+            }
+            fc.unit_offsets.push(fc.ops.len() as u32);
+            fc.roots.push(root);
+            fc.root_nets.push(cc.output(root));
+            let level = cc.gate_level(root);
+            fc.unit_levels.push(level);
+            fc.max_unit_level = fc.max_unit_level.max(level);
+            fc.ext_nets.extend_from_slice(&ext);
+            fc.ext_offsets.push(fc.ext_nets.len() as u32);
+
+            // Ternary LUT: multi-gate cones with few enough external
+            // inputs get their full 3^k function tabulated.
+            if cone.len() >= MIN_CONE && ext.len() <= MAX_LUT_INPUTS {
+                let k = ext.len();
+                let mut regs = [TX; MAX_CONE];
+                let mut vars = vec![TX; k];
+                for entry in 0..3u32.pow(k as u32) {
+                    let mut e = entry;
+                    for v in vars.iter_mut() {
+                        *v = (e % 3) as u8;
+                        e /= 3;
+                    }
+                    for (j, op) in fc.ops[base..].iter().enumerate() {
+                        let lo = fc.arg_offsets[base + j] as usize;
+                        let hi = fc.arg_offsets[base + j + 1] as usize;
+                        let ins: Vec<u8> = fc.args[lo..hi]
+                            .iter()
+                            .map(|&a| {
+                                if a & REG_BIT != 0 {
+                                    regs[(a & !REG_BIT) as usize]
+                                } else {
+                                    let net = NetId::from_index(a as usize);
+                                    vars[ext.iter().position(|&x| x == net).unwrap()]
+                                }
+                            })
+                            .collect();
+                        regs[j] = t_eval(op.kind, &ins);
+                    }
+                    fc.luts.push(regs[cone.len() - 1]);
+                }
+            }
+            fc.lut_offsets.push(fc.luts.len() as u32);
+        }
+
+        // External-load fanout CSR: which units re-read each net.
+        let mut counts = vec![0u32; nn];
+        for &net in &fc.ext_nets {
+            counts[net.index()] += 1;
+        }
+        let mut offsets = vec![0u32; nn + 1];
+        for i in 0..nn {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let mut fill = offsets.clone();
+        let mut ufan = vec![0u32; fc.ext_nets.len()];
+        for u in 0..fc.roots.len() {
+            let lo = fc.ext_offsets[u] as usize;
+            let hi = fc.ext_offsets[u + 1] as usize;
+            for &net in &fc.ext_nets[lo..hi] {
+                let slot = fill[net.index()];
+                ufan[slot as usize] = u as u32;
+                fill[net.index()] += 1;
+            }
+        }
+        fc.ufan_offsets = offsets;
+        fc.ufan_units = ufan;
+        fc
+    }
+
+    /// Number of fused units.
+    #[inline]
+    pub fn num_units(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of original gates (every one owned by exactly one unit).
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// Number of nets in the underlying circuit.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// The highest unit (root) level.
+    #[inline]
+    pub fn max_unit_level(&self) -> u32 {
+        self.max_unit_level
+    }
+
+    /// Global op index range of unit `u`.
+    #[inline]
+    pub fn op_range(&self, u: usize) -> std::ops::Range<usize> {
+        self.unit_offsets[u] as usize..self.unit_offsets[u + 1] as usize
+    }
+
+    /// The ops of unit `u`, in topological order (root last).
+    #[inline]
+    pub fn unit_ops(&self, u: usize) -> &[FusedOp] {
+        &self.ops[self.op_range(u)]
+    }
+
+    /// Original-gate count of unit `u`.
+    #[inline]
+    pub fn unit_gates(&self, u: usize) -> usize {
+        (self.unit_offsets[u + 1] - self.unit_offsets[u]) as usize
+    }
+
+    /// The operands of global op `i` (see [`FusedCircuit::decode_arg`]).
+    #[inline]
+    pub fn op_args(&self, i: usize) -> &[u32] {
+        &self.args[self.arg_offsets[i] as usize..self.arg_offsets[i + 1] as usize]
+    }
+
+    /// Decodes an operand: `Ok(net)` for an external load, `Err(reg)` for a
+    /// unit-local register (earlier-op index within the unit).
+    #[inline]
+    pub fn decode_arg(arg: u32) -> Result<NetId, usize> {
+        if arg & REG_BIT != 0 {
+            Err((arg & !REG_BIT) as usize)
+        } else {
+            Ok(NetId::from_index(arg as usize))
+        }
+    }
+
+    /// Root gate of unit `u`.
+    #[inline]
+    pub fn root(&self, u: usize) -> GateId {
+        self.roots[u]
+    }
+
+    /// Root output net of unit `u` (the only net a fused pass stores).
+    #[inline]
+    pub fn root_net(&self, u: usize) -> NetId {
+        self.root_nets[u]
+    }
+
+    /// Level of unit `u`'s root gate.
+    #[inline]
+    pub fn unit_level(&self, u: usize) -> u32 {
+        self.unit_levels[u]
+    }
+
+    /// The unit owning `gate`.
+    #[inline]
+    pub fn unit_of_gate(&self, gate: GateId) -> usize {
+        self.unit_of_gate[gate.index()] as usize
+    }
+
+    /// Units that load `net` as an external input.
+    #[inline]
+    pub fn fanout_units(&self, net: NetId) -> &[u32] {
+        let ni = net.index();
+        let lo = self.ufan_offsets[ni] as usize;
+        let hi = self.ufan_offsets[ni + 1] as usize;
+        &self.ufan_units[lo..hi]
+    }
+
+    /// The unit whose *interior* (unstored) value `net` is, if any.
+    #[inline]
+    pub fn interior_unit(&self, net: NetId) -> Option<usize> {
+        match self.interior_unit[net.index()] {
+            NO_UNIT => None,
+            u => Some(u as usize),
+        }
+    }
+
+    /// Distinct external input nets of unit `u`, in first-use order (the
+    /// LUT's variable order).
+    #[inline]
+    pub fn ext_inputs(&self, u: usize) -> &[NetId] {
+        &self.ext_nets[self.ext_offsets[u] as usize..self.ext_offsets[u + 1] as usize]
+    }
+
+    /// The tabulated ternary function of unit `u`, when present: `3^k`
+    /// entries of [`T0`]/[`T1`]/[`TX`] indexed by `sum(v_i * 3^i)` over
+    /// [`FusedCircuit::ext_inputs`].
+    #[inline]
+    pub fn lut(&self, u: usize) -> Option<&[u8]> {
+        let lo = self.lut_offsets[u] as usize;
+        let hi = self.lut_offsets[u + 1] as usize;
+        (lo != hi).then(|| &self.luts[lo..hi])
+    }
+
+    /// Number of original gates living inside multi-gate cones.
+    pub fn gates_in_cones(&self) -> usize {
+        (0..self.num_units())
+            .map(|u| self.unit_gates(u))
+            .filter(|&n| n > 1)
+            .sum()
+    }
+
+    /// Cross-checks the fused view against its compiled circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural inconsistency found.
+    pub fn validate(&self, cc: &CompiledCircuit) -> Result<(), String> {
+        if self.num_gates != cc.num_gates() || self.num_nets != cc.num_nets() {
+            return Err("size mismatch with compiled circuit".into());
+        }
+        if self.ops.len() != cc.num_gates() {
+            return Err(format!(
+                "ops {} != gates {} (partition broken)",
+                self.ops.len(),
+                cc.num_gates()
+            ));
+        }
+        let mut driver = vec![u32::MAX; cc.num_nets()];
+        for gi in 0..cc.num_gates() {
+            driver[cc.output(GateId::from_index(gi)).index()] = gi as u32;
+        }
+        let mut seen = vec![false; cc.num_gates()];
+        for u in 0..self.num_units() {
+            let ops = self.unit_ops(u);
+            let n = ops.len();
+            if n != 1 && !(MIN_CONE..=MAX_CONE).contains(&n) {
+                return Err(format!("unit {u} has {n} gates"));
+            }
+            if ops.last().unwrap().gate != self.root(u) {
+                return Err(format!("unit {u}: root is not the last op"));
+            }
+            if self.root_net(u) != cc.output(self.root(u)) {
+                return Err(format!("unit {u}: root net mismatch"));
+            }
+            for (j, op) in ops.iter().enumerate() {
+                let gi = op.gate.index();
+                if seen[gi] {
+                    return Err(format!("gate {gi} in more than one unit"));
+                }
+                seen[gi] = true;
+                if self.unit_of_gate(op.gate) != u {
+                    return Err(format!("gate {gi}: unit_of_gate disagrees"));
+                }
+                if op.kind != cc.kind(op.gate) || op.out != cc.output(op.gate) {
+                    return Err(format!("gate {gi}: op metadata disagrees"));
+                }
+                let base = self.op_range(u).start;
+                if self.op_args(base + j).len() != cc.inputs(op.gate).len() {
+                    return Err(format!("gate {gi}: operand count disagrees"));
+                }
+                for (&arg, &net) in self.op_args(base + j).iter().zip(cc.inputs(op.gate)) {
+                    match FusedCircuit::decode_arg(arg) {
+                        Ok(n) => {
+                            if n != net {
+                                return Err(format!("gate {gi}: external operand disagrees"));
+                            }
+                            // External operands must read *stored* values:
+                            // source nets, or the root net of an earlier
+                            // unit — never another unit's interior.
+                            if cc.gate_driven(net) {
+                                let d = GateId::from_index(driver[net.index()] as usize);
+                                let du = self.unit_of_gate(d);
+                                if self.root_net(du) != net {
+                                    return Err(format!(
+                                        "unit {u}: external operand `{}` is unit {du}'s \
+                                         interior (unstored)",
+                                        net.index()
+                                    ));
+                                }
+                                if du >= u {
+                                    return Err(format!(
+                                        "unit {u}: external input from unit {du} not earlier"
+                                    ));
+                                }
+                            }
+                        }
+                        Err(reg) => {
+                            if reg >= j {
+                                return Err(format!("gate {gi}: register {reg} not earlier"));
+                            }
+                            if ops[reg].out != net {
+                                return Err(format!("gate {gi}: register {reg} wrong net"));
+                            }
+                        }
+                    }
+                }
+                if j + 1 < n {
+                    // Interior output: single consumer, unobserved, owned.
+                    if cc.observed(op.out) || cc.fanout_gates(op.out).len() != 1 {
+                        return Err(format!("gate {gi}: interior net is externally visible"));
+                    }
+                    if self.interior_unit(op.out) != Some(u) {
+                        return Err(format!("gate {gi}: interior net map disagrees"));
+                    }
+                }
+            }
+            if let Some(lut) = self.lut(u) {
+                let k = self.ext_inputs(u).len();
+                if k > MAX_LUT_INPUTS || lut.len() != 3usize.pow(k as u32) {
+                    return Err(format!("unit {u}: LUT shape invalid"));
+                }
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("some gate belongs to no unit".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_fmt::s27;
+    use crate::synth::{generate, SynthSpec};
+
+    #[test]
+    fn fusion_validates_on_catalog_and_synthetic_circuits() {
+        for nl in [
+            s27(),
+            crate::catalog::by_name("s298").unwrap().instantiate(),
+            generate(&SynthSpec::new("f", 6, 4, 9, 300, 5)).unwrap(),
+            generate(&SynthSpec::new("fl", 5, 3, 6, 800, 9).with_layers(6)).unwrap(),
+        ] {
+            let cc = nl.compiled();
+            let fc = FusedCircuit::fuse(cc);
+            fc.validate(cc).expect("fused view is structurally sound");
+            assert_eq!(
+                (0..fc.num_units()).map(|u| fc.unit_gates(u)).sum::<usize>(),
+                cc.num_gates(),
+                "units partition the gate set"
+            );
+        }
+    }
+
+    #[test]
+    fn cones_form_on_layered_logic() {
+        // Layered synthetic circuits have long fanout-free chains; the
+        // pass must find multi-gate cones there, all within 3..=6 gates.
+        let nl = generate(&SynthSpec::new("fc", 5, 3, 6, 1000, 77).with_layers(8)).unwrap();
+        let cc = nl.compiled();
+        let fc = FusedCircuit::fuse(cc);
+        assert!(
+            fc.gates_in_cones() > 0,
+            "no cones fused on a layered circuit"
+        );
+        for u in 0..fc.num_units() {
+            let n = fc.unit_gates(u);
+            assert!(n == 1 || (MIN_CONE..=MAX_CONE).contains(&n));
+        }
+    }
+
+    #[test]
+    fn unit_order_is_topological() {
+        let nl = generate(&SynthSpec::new("ft", 6, 4, 9, 400, 21).with_layers(5)).unwrap();
+        let cc = nl.compiled();
+        let fc = FusedCircuit::fuse(cc);
+        for u in 1..fc.num_units() {
+            assert!(fc.unit_level(u) >= fc.unit_level(u - 1));
+        }
+    }
+
+    #[test]
+    fn lut_matches_micro_program_on_every_ternary_entry() {
+        // Re-evaluate each tabulated unit's micro-program over every
+        // ternary input combination and compare with the stored LUT.
+        let nl = generate(&SynthSpec::new("fv", 5, 3, 6, 600, 33).with_layers(6)).unwrap();
+        let cc = nl.compiled();
+        let fc = FusedCircuit::fuse(cc);
+        let mut tabulated = 0;
+        for u in 0..fc.num_units() {
+            let Some(lut) = fc.lut(u) else { continue };
+            tabulated += 1;
+            let ext = fc.ext_inputs(u);
+            let ops = fc.unit_ops(u);
+            let base = fc.op_range(u).start;
+            for (entry, &want) in lut.iter().enumerate() {
+                let mut e = entry;
+                let vars: Vec<u8> = (0..ext.len())
+                    .map(|_| {
+                        let v = (e % 3) as u8;
+                        e /= 3;
+                        v
+                    })
+                    .collect();
+                let mut regs = [TX; MAX_CONE];
+                for (j, op) in ops.iter().enumerate() {
+                    let ins: Vec<u8> = fc
+                        .op_args(base + j)
+                        .iter()
+                        .map(|&a| match FusedCircuit::decode_arg(a) {
+                            Err(r) => regs[r],
+                            Ok(net) => vars[ext.iter().position(|&x| x == net).unwrap()],
+                        })
+                        .collect();
+                    regs[j] = t_eval(op.kind, &ins);
+                }
+                assert_eq!(regs[ops.len() - 1], want, "unit {u} entry {entry}");
+            }
+        }
+        assert!(tabulated > 0, "no unit qualified for a LUT");
+    }
+}

@@ -1,0 +1,995 @@
+//! Cone-fused evaluation: the [`FusedSim`] kernel over a
+//! [`FusedCircuit`].
+//!
+//! Where [`CompiledSim`](crate::kernel::CompiledSim) walks the gate
+//! schedule one gate at a time, [`FusedSim`] walks the *unit* schedule of a
+//! [`FusedCircuit`]: each unit — a single gate or a fanout-free cone of 3–6
+//! gates — runs as a straight-line register micro-program whose interior
+//! results live in a tiny local register file and never touch the net
+//! value array. Only the unit's root net is stored, which cuts both the
+//! store traffic and the event-queue pressure of the delta path (one queue
+//! entry drains up to six gates).
+//!
+//! # Validity contract
+//!
+//! After a fused pass, only **root nets** (every unit's output, which
+//! includes every observed net) and **source nets** hold live values;
+//! interior nets are stale. Engines that read arbitrary nets must not
+//! consume fused results — see `EngineKind` for which engines degrade.
+//!
+//! # Overrides
+//!
+//! Fault injection keeps the exact legacy semantics. Units with no
+//! interior override activity take the fast micro-program path (the root
+//! stem override, if any, applies at the store); a unit becomes *slow* —
+//! evaluated gate by gate with per-pin overrides and per-output stem
+//! forcing inside the register file — when any of its gates carries a pin
+//! override or any interior output carries a stem override. Slowness is
+//! detected per unit on the fly, so the pass needs no marking arrays and
+//! stays `&self`.
+//!
+//! Throughput counters follow the kernel-wide **gate-word** convention: a
+//! full fused pass over `G` original gates credits `G × words`, and a
+//! delta pass credits the touched units' gate populations, with
+//! `evals + skipped == G × words` asserted in debug builds.
+
+use atspeed_circuit::{CompiledCircuit, FusedCircuit, GateKind, NetId};
+
+use crate::comb::Overrides;
+use crate::kernel::{
+    apply_gate_pin_g, apply_stem_g, combine, debug_check_rails, KernelWord, SimScratch,
+};
+use crate::logic::{W3x4, W3};
+
+use atspeed_circuit::fuse::MAX_CONE;
+
+/// Extra slots a value slice must carry past the net count for the fused
+/// fault-free full pass: the flattened micro-program keeps each unit's
+/// interior cone results at `vals[num_nets..num_nets + FUSED_SLICE_PAD]`,
+/// so every operand load and result store is one unconditional indexed
+/// access — the same loop shape as the compiled kernel. [`SimScratch`]
+/// allocates the pad automatically; only callers handing
+/// [`FusedSim::eval_slice`] / [`FusedSim::eval_slice_wide`] a raw slice
+/// need to size it themselves.
+pub const FUSED_SLICE_PAD: usize = MAX_CONE;
+
+const NO_UNIT_Q: u32 = u32::MAX;
+
+/// Reads one micro-program operand: an external net load or a unit-local
+/// register (result of an earlier op in the same unit).
+#[inline]
+fn arg_val<Wd: KernelWord>(vals: &[Wd], regs: &[Wd; MAX_CONE], a: u32) -> Wd {
+    match FusedCircuit::decode_arg(a) {
+        Ok(net) => vals[net.index()],
+        Err(r) => regs[r],
+    }
+}
+
+/// Folds one gate function over `n` operands with the per-kind dispatch
+/// hoisted out of the operand loop (the same shape as `eval_gate_g`, so
+/// each fold body is a straight run of rail ops the compiler vectorizes).
+#[inline]
+fn fold_gate<Wd: KernelWord>(kind: GateKind, n: usize, mut get: impl FnMut(usize) -> Wd) -> Wd {
+    let first = get(0);
+    let base = match kind {
+        GateKind::And | GateKind::Nand => (1..n).fold(first, |acc, i| acc.and(get(i))),
+        GateKind::Or | GateKind::Nor => (1..n).fold(first, |acc, i| acc.or(get(i))),
+        GateKind::Xor | GateKind::Xnor => (1..n).fold(first, |acc, i| acc.xor(get(i))),
+        GateKind::Not | GateKind::Buf => first,
+    };
+    if kind.inverts() {
+        base.not()
+    } else {
+        base
+    }
+}
+
+/// Evaluates unit `u`'s micro-program, fault-free (or with only a root
+/// stem override, which the caller applies at the store). Returns the root
+/// value.
+#[inline]
+fn eval_unit_fast<Wd: KernelWord>(fc: &FusedCircuit, vals: &[Wd], u: usize) -> Wd {
+    let base = fc.op_range(u).start;
+    let ops = fc.unit_ops(u);
+    if let [op] = ops {
+        // Single-gate unit — the common case. Its operands are all
+        // external nets, so skip the cone register file entirely (at wide
+        // width, just zeroing it would cost more than the gate).
+        let args = fc.op_args(base);
+        return fold_gate(op.kind, args.len(), |i| {
+            match FusedCircuit::decode_arg(args[i]) {
+                Ok(net) => vals[net.index()],
+                Err(_) => Wd::ALL_X, // unreachable: no earlier op to reference
+            }
+        });
+    }
+    let mut regs = [Wd::ALL_X; MAX_CONE];
+    let mut last = Wd::ALL_X;
+    for (j, op) in ops.iter().enumerate() {
+        let args = fc.op_args(base + j);
+        let acc = fold_gate(op.kind, args.len(), |i| arg_val(vals, &regs, args[i]));
+        regs[j] = acc;
+        last = acc;
+    }
+    last
+}
+
+/// Whether unit `u` needs the gate-by-gate override path: any gate with a
+/// pin override, or any *interior* output with a stem override (the root's
+/// stem override applies at the store and keeps the fast path).
+#[inline]
+fn unit_is_slow(fc: &FusedCircuit, ov: &Overrides, u: usize) -> bool {
+    let ops = fc.unit_ops(u);
+    ops.iter().any(|op| ov.is_gate_flagged(op.gate))
+        || ops[..ops.len() - 1]
+            .iter()
+            .any(|op| ov.is_stem_overridden(op.out))
+}
+
+/// Evaluates unit `u` gate by gate with full override semantics: per-pin
+/// forcing on every operand and stem forcing on every output — interior
+/// stem faults propagate through the register file exactly as they would
+/// through stored nets. Returns the root value (already stem-forced).
+fn eval_unit_slow<Wd: KernelWord>(fc: &FusedCircuit, vals: &[Wd], ov: &Overrides, u: usize) -> Wd {
+    let base = fc.op_range(u).start;
+    let ops = fc.unit_ops(u);
+    let mut regs = [Wd::ALL_X; MAX_CONE];
+    let mut last = Wd::ALL_X;
+    for (j, op) in ops.iter().enumerate() {
+        let args = fc.op_args(base + j);
+        let mut acc = apply_gate_pin_g(ov, op.gate, 0, arg_val(vals, &regs, args[0]));
+        for (pin, &a) in args.iter().enumerate().skip(1) {
+            let w = apply_gate_pin_g(ov, op.gate, pin as u8, arg_val(vals, &regs, a));
+            acc = combine(op.kind, acc, w);
+        }
+        if op.kind.inverts() {
+            acc = acc.not();
+        }
+        acc = apply_stem_g(ov, op.out, acc);
+        regs[j] = acc;
+        last = acc;
+    }
+    last
+}
+
+/// Full pass over the unit schedule at any width, with fault injection.
+/// (The fault-free full pass runs on [`FusedSim`]'s flattened
+/// micro-program instead.)
+fn fused_full_pass_g<Wd: KernelWord>(
+    cc: &CompiledCircuit,
+    fc: &FusedCircuit,
+    vals: &mut [Wd],
+    ov: &Overrides,
+) {
+    assert!(vals.len() >= cc.num_nets());
+    // Gate-word accounting: every original gate advances, cones included.
+    crate::stats::add_gate_evals(cc.num_gates() as u64 * Wd::WORDS);
+    for &net in ov.stems() {
+        if !cc.gate_driven(net) {
+            vals[net.index()] = apply_stem_g(ov, net, vals[net.index()]);
+        }
+    }
+    for u in 0..fc.num_units() {
+        let rn = fc.root_net(u);
+        let out = if unit_is_slow(fc, ov, u) {
+            // Root stem override already applied inside.
+            eval_unit_slow(fc, vals, ov, u)
+        } else {
+            apply_stem_g(ov, rn, eval_unit_fast(fc, vals, u))
+        };
+        vals[rn.index()] = out;
+    }
+}
+
+/// The unit-level event queue of a [`FusedSim`], split out so the delta
+/// core can borrow it alongside either value array.
+struct UnitQueue<'a> {
+    bucket_head: &'a mut [u32],
+    next_in_bucket: &'a mut [u32],
+    in_queue: &'a mut [bool],
+    queued: &'a mut Vec<u32>,
+}
+
+impl UnitQueue<'_> {
+    /// Enqueues unit `u` for re-evaluation (once); returns its root level.
+    #[inline]
+    fn schedule(&mut self, u: u32, fc: &FusedCircuit) -> u32 {
+        let level = fc.unit_level(u as usize);
+        if !self.in_queue[u as usize] {
+            self.in_queue[u as usize] = true;
+            self.queued.push(u);
+            self.next_in_bucket[u as usize] = self.bucket_head[level as usize];
+            self.bucket_head[level as usize] = u;
+        }
+        level
+    }
+}
+
+/// Event-driven incremental pass over units at any width. Touched units
+/// re-run their whole micro-program from stored externals (interiors are
+/// never stored, so there is no partial-cone state to patch).
+#[allow(clippy::too_many_arguments)]
+fn fused_delta_pass_g<Wd: KernelWord>(
+    cc: &CompiledCircuit,
+    fc: &FusedCircuit,
+    vals: &mut [Wd],
+    changed: &mut Vec<NetId>,
+    dirty: &mut [bool],
+    mut q: UnitQueue<'_>,
+    ov: Option<&Overrides>,
+) {
+    debug_assert!(q.queued.is_empty());
+    if let Some(ov) = ov {
+        for &net in changed.iter() {
+            if !cc.gate_driven(net) {
+                vals[net.index()] = apply_stem_g(ov, net, vals[net.index()]);
+            }
+        }
+    }
+    let mut min_level = u32::MAX;
+    for &net in changed.iter() {
+        dirty[net.index()] = false;
+        for &u in fc.fanout_units(net) {
+            min_level = min_level.min(q.schedule(u, fc));
+        }
+    }
+    changed.clear();
+
+    if min_level != u32::MAX {
+        let mut level = min_level as usize;
+        while level < q.bucket_head.len() {
+            while q.bucket_head[level] != NO_UNIT_Q {
+                let u = q.bucket_head[level];
+                q.bucket_head[level] = q.next_in_bucket[u as usize];
+                let rn = fc.root_net(u as usize);
+                let out = match ov {
+                    Some(ov) if unit_is_slow(fc, ov, u as usize) => {
+                        eval_unit_slow(fc, vals, ov, u as usize)
+                    }
+                    Some(ov) => apply_stem_g(ov, rn, eval_unit_fast(fc, vals, u as usize)),
+                    None => eval_unit_fast(fc, vals, u as usize),
+                };
+                if out != vals[rn.index()] {
+                    vals[rn.index()] = out;
+                    for &u2 in fc.fanout_units(rn) {
+                        q.schedule(u2, fc);
+                    }
+                }
+            }
+            level += 1;
+        }
+    }
+
+    // Gate-word accounting in original-gate units: touched units account
+    // for their whole cone, and touched + skipped partitions the gate set.
+    let touched_gates: u64 = q
+        .queued
+        .iter()
+        .map(|&u| fc.unit_gates(u as usize) as u64)
+        .sum();
+    let evals = touched_gates * Wd::WORDS;
+    let skipped = (cc.num_gates() as u64 - touched_gates) * Wd::WORDS;
+    debug_assert_eq!(
+        evals + skipped,
+        cc.num_gates() as u64 * Wd::WORDS,
+        "fused delta accounting must partition the gate-word population"
+    );
+    crate::stats::add_gate_evals(evals);
+    crate::stats::add_events_skipped(skipped);
+    for u in q.queued.drain(..) {
+        q.in_queue[u as usize] = false;
+    }
+}
+
+/// Cone-fused levelized/event-driven evaluator (see the module docs for
+/// the validity contract: only root and source nets are live after a
+/// pass).
+///
+/// Shares [`SimScratch`] with [`CompiledSim`](crate::kernel::CompiledSim)
+/// for values and change tracking, but owns its own unit-level event
+/// queue, so the two simulators can be mixed on one scratch as long as
+/// each delta pass follows a full pass (or delta pass) of the *same*
+/// engine and width.
+#[derive(Debug, Clone)]
+pub struct FusedSim<'a> {
+    cc: &'a CompiledCircuit,
+    fc: &'a FusedCircuit,
+    // Unit-level event queue, same intrusive-list shape as the scratch's
+    // gate-level queue (see `SimScratch`).
+    bucket_head: Vec<u32>,
+    next_in_bucket: Vec<u32>,
+    in_queue: Vec<bool>,
+    queued: Vec<u32>,
+    // The unit schedule flattened into one linear micro-program, so the
+    // fault-free full pass walks a single op array with direct store
+    // targets instead of three CSR hops per unit (`op_range` → `unit_ops`
+    // → `op_args`), which costs as much as a small gate at wide width.
+    flat_ops: Vec<FlatOp>,
+    flat_args: Vec<u32>,
+}
+
+/// One op of the flattened fault-free full-pass micro-program. Operands
+/// and the store target are plain indices into the padded value slice:
+/// interior cone slot `r` lives at `num_nets + r` (see
+/// [`FUSED_SLICE_PAD`]), so the evaluation loop is branch-free.
+#[derive(Debug, Clone, Copy)]
+struct FlatOp {
+    kind: GateKind,
+    /// Padded-slice index to store: the unit's root net, or
+    /// `num_nets + slot` for an interior cone result.
+    store: u32,
+    /// Operand range in `FusedSim::flat_args` (padded-slice indices).
+    arg_start: u32,
+    arg_end: u32,
+}
+
+impl<'a> FusedSim<'a> {
+    /// Creates an evaluator over `cc`'s fused view `fc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` was not built from a circuit of `cc`'s shape.
+    pub fn new(cc: &'a CompiledCircuit, fc: &'a FusedCircuit) -> Self {
+        assert_eq!(fc.num_gates(), cc.num_gates(), "fused view gate count");
+        assert_eq!(fc.num_nets(), cc.num_nets(), "fused view net count");
+        let nn = cc.num_nets();
+        let mut flat_ops = Vec::with_capacity(cc.num_gates());
+        let mut flat_args = Vec::new();
+        for u in 0..fc.num_units() {
+            let base = fc.op_range(u).start;
+            let ops = fc.unit_ops(u);
+            for (j, op) in ops.iter().enumerate() {
+                let arg_start = flat_args.len() as u32;
+                flat_args.extend(fc.op_args(base + j).iter().map(
+                    |&a| match FusedCircuit::decode_arg(a) {
+                        Ok(net) => net.index() as u32,
+                        Err(r) => (nn + r) as u32,
+                    },
+                ));
+                let store = if j + 1 == ops.len() {
+                    fc.root_net(u).index() as u32
+                } else {
+                    (nn + j) as u32
+                };
+                flat_ops.push(FlatOp {
+                    kind: op.kind,
+                    store,
+                    arg_start,
+                    arg_end: flat_args.len() as u32,
+                });
+            }
+        }
+        FusedSim {
+            cc,
+            fc,
+            bucket_head: vec![NO_UNIT_Q; fc.max_unit_level() as usize + 1],
+            next_in_bucket: vec![NO_UNIT_Q; fc.num_units()],
+            in_queue: vec![false; fc.num_units()],
+            queued: Vec::new(),
+            flat_ops,
+            flat_args,
+        }
+    }
+
+    /// Fault-free full pass over the flattened micro-program. Interior
+    /// cone results live in the slice pad (never re-initialized between
+    /// units): every pad slot is written before any same-unit read
+    /// (`FusedCircuit::validate` checks operands only reference earlier
+    /// ops), and cross-unit reads cannot occur because interior operands
+    /// are unit-local by construction.
+    fn full_flat<Wd: KernelWord>(&self, vals: &mut [Wd]) {
+        assert!(
+            vals.len() >= self.cc.num_nets() + FUSED_SLICE_PAD,
+            "fused full pass needs num_nets + FUSED_SLICE_PAD value slots \
+             ({} + {}), got {}",
+            self.cc.num_nets(),
+            FUSED_SLICE_PAD,
+            vals.len()
+        );
+        crate::stats::add_gate_evals(self.cc.num_gates() as u64 * Wd::WORDS);
+        for op in &self.flat_ops {
+            let args = &self.flat_args[op.arg_start as usize..op.arg_end as usize];
+            let first = vals[args[0] as usize];
+            let base = match op.kind {
+                GateKind::And | GateKind::Nand => args[1..]
+                    .iter()
+                    .fold(first, |acc, &a| acc.and(vals[a as usize])),
+                GateKind::Or | GateKind::Nor => args[1..]
+                    .iter()
+                    .fold(first, |acc, &a| acc.or(vals[a as usize])),
+                GateKind::Xor | GateKind::Xnor => args[1..]
+                    .iter()
+                    .fold(first, |acc, &a| acc.xor(vals[a as usize])),
+                GateKind::Not | GateKind::Buf => first,
+            };
+            vals[op.store as usize] = if op.kind.inverts() { base.not() } else { base };
+        }
+    }
+
+    /// The compiled circuit being evaluated.
+    #[inline]
+    pub fn circuit(&self) -> &'a CompiledCircuit {
+        self.cc
+    }
+
+    /// The fused view being walked.
+    #[inline]
+    pub fn fused(&self) -> &'a FusedCircuit {
+        self.fc
+    }
+
+    /// Full fused pass, fault-free. Stores root nets only (see the module
+    /// docs).
+    pub fn eval(&self, s: &mut SimScratch) {
+        s.clear_events();
+        self.eval_slice(&mut s.vals);
+    }
+
+    /// Full fused pass with fault injection.
+    pub fn eval_with(&self, s: &mut SimScratch, ov: &Overrides) {
+        s.clear_events();
+        self.eval_with_slice(&mut s.vals, ov);
+    }
+
+    /// Full fused pass over a caller-owned value slice, which must carry
+    /// the interior-result pad: `num_nets + FUSED_SLICE_PAD` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than `num_nets + FUSED_SLICE_PAD`.
+    pub fn eval_slice(&self, vals: &mut [W3]) {
+        self.full_flat(vals);
+    }
+
+    /// Full fused pass with fault injection over a caller-owned slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than the circuit's net count.
+    pub fn eval_with_slice(&self, vals: &mut [W3], ov: &Overrides) {
+        fused_full_pass_g(self.cc, self.fc, vals, ov);
+    }
+
+    /// Wide full fused pass, fault-free (allocates the scratch's wide
+    /// array on first use).
+    pub fn eval_wide(&self, s: &mut SimScratch) {
+        s.ensure_wide(self.cc);
+        s.clear_events();
+        self.eval_slice_wide(&mut s.wvals);
+    }
+
+    /// Wide full fused pass with fault injection.
+    pub fn eval_with_wide(&self, s: &mut SimScratch, ov: &Overrides) {
+        s.ensure_wide(self.cc);
+        s.clear_events();
+        self.eval_with_slice_wide(&mut s.wvals, ov);
+    }
+
+    /// Wide full fused pass over a caller-owned block slice, which must
+    /// carry the interior-result pad: `num_nets + FUSED_SLICE_PAD` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than `num_nets + FUSED_SLICE_PAD`.
+    pub fn eval_slice_wide(&self, vals: &mut [W3x4]) {
+        self.full_flat(vals);
+        debug_check_rails(&vals[..self.cc.num_nets()]);
+    }
+
+    /// Wide full fused pass with fault injection over a caller-owned block
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than the circuit's net count.
+    pub fn eval_with_slice_wide(&self, vals: &mut [W3x4], ov: &Overrides) {
+        fused_full_pass_g(self.cc, self.fc, vals, ov);
+        debug_check_rails(&vals[..self.cc.num_nets()]);
+    }
+
+    /// Event-driven incremental fused pass, fault-free: re-evaluates only
+    /// the units whose external inputs changed (transitively). Same seed
+    /// contract as [`CompiledSim::eval_delta`](crate::kernel::CompiledSim::eval_delta),
+    /// with the previous pass run by *this* engine.
+    pub fn eval_delta(&mut self, s: &mut SimScratch) {
+        let SimScratch {
+            vals,
+            changed,
+            dirty,
+            ..
+        } = s;
+        fused_delta_pass_g(
+            self.cc,
+            self.fc,
+            vals,
+            changed,
+            dirty,
+            UnitQueue {
+                bucket_head: &mut self.bucket_head,
+                next_in_bucket: &mut self.next_in_bucket,
+                in_queue: &mut self.in_queue,
+                queued: &mut self.queued,
+            },
+            None,
+        );
+    }
+
+    /// Event-driven incremental fused pass with fault injection (the
+    /// override set must be unchanged since the seeding full pass).
+    pub fn eval_delta_with(&mut self, s: &mut SimScratch, ov: &Overrides) {
+        let SimScratch {
+            vals,
+            changed,
+            dirty,
+            ..
+        } = s;
+        fused_delta_pass_g(
+            self.cc,
+            self.fc,
+            vals,
+            changed,
+            dirty,
+            UnitQueue {
+                bucket_head: &mut self.bucket_head,
+                next_in_bucket: &mut self.next_in_bucket,
+                in_queue: &mut self.in_queue,
+                queued: &mut self.queued,
+            },
+            Some(ov),
+        );
+    }
+
+    /// Wide event-driven incremental fused pass, fault-free.
+    pub fn eval_delta_wide(&mut self, s: &mut SimScratch) {
+        self.delta_wide(s, None);
+    }
+
+    /// Wide event-driven incremental fused pass with fault injection.
+    pub fn eval_delta_with_wide(&mut self, s: &mut SimScratch, ov: &Overrides) {
+        self.delta_wide(s, Some(ov));
+    }
+
+    fn delta_wide(&mut self, s: &mut SimScratch, ov: Option<&Overrides>) {
+        s.ensure_wide(self.cc);
+        let SimScratch {
+            wvals,
+            changed,
+            dirty,
+            ..
+        } = s;
+        fused_delta_pass_g(
+            self.cc,
+            self.fc,
+            wvals,
+            changed,
+            dirty,
+            UnitQueue {
+                bucket_head: &mut self.bucket_head,
+                next_in_bucket: &mut self.next_in_bucket,
+                in_queue: &mut self.in_queue,
+                queued: &mut self.queued,
+            },
+            ov,
+        );
+        debug_check_rails(&s.wvals[..self.cc.num_nets()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultUniverse;
+    use crate::kernel::CompiledSim;
+    use crate::logic::{LANES, V3};
+    use atspeed_circuit::fuse::{T0, T1, TX};
+    use atspeed_circuit::synth::{generate, SynthSpec};
+    use atspeed_circuit::{GateId, Netlist};
+
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut x = seed | 1;
+        move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+    }
+
+    fn random_w3(r: &mut impl FnMut() -> u64) -> W3 {
+        let a = r();
+        let b = r();
+        W3 {
+            zero: a & !b,
+            one: !a & b,
+        }
+    }
+
+    fn random_w3x4(r: &mut impl FnMut() -> u64) -> W3x4 {
+        let mut w = W3x4::ALL_X;
+        for l in 0..LANES {
+            w.set_lane(l, random_w3(r));
+        }
+        w
+    }
+
+    fn circuits() -> Vec<Netlist> {
+        vec![
+            atspeed_circuit::bench_fmt::s27(),
+            atspeed_circuit::catalog::by_name("s298")
+                .unwrap()
+                .instantiate(),
+            generate(&SynthSpec::new("fs", 6, 4, 9, 300, 11)).unwrap(),
+            generate(&SynthSpec::new("fsl", 5, 3, 6, 900, 23).with_layers(7)).unwrap(),
+        ]
+    }
+
+    /// Nets whose values the fused contract guarantees: sources + roots
+    /// (which include every observed net).
+    fn live_nets(nl: &Netlist, fc: &FusedCircuit) -> Vec<NetId> {
+        let cc = nl.compiled();
+        let mut live: Vec<NetId> = nl.pis().to_vec();
+        live.extend(nl.ffs().iter().map(|ff| ff.q()));
+        live.extend((0..fc.num_units()).map(|u| fc.root_net(u)));
+        live.retain(|&n| n.index() < cc.num_nets());
+        live
+    }
+
+    fn seed_pair(
+        nl: &Netlist,
+        a: &mut SimScratch,
+        b: &mut SimScratch,
+        r: &mut impl FnMut() -> u64,
+    ) {
+        for &pi in nl.pis() {
+            let w = random_w3(r);
+            a.set_source(pi, w);
+            b.set_source(pi, w);
+        }
+        for ff in nl.ffs() {
+            let w = random_w3(r);
+            a.set_source(ff.q(), w);
+            b.set_source(ff.q(), w);
+        }
+    }
+
+    #[test]
+    fn fused_full_pass_matches_compiled_on_live_nets() {
+        for nl in circuits() {
+            let cc = nl.compiled();
+            let fc = nl.fused();
+            let sim = CompiledSim::new(cc);
+            let fsim = FusedSim::new(cc, fc);
+            let u = FaultUniverse::full(&nl);
+            let mut ov = Overrides::new(&nl);
+            for (k, &fid) in u.representatives().iter().take(50).enumerate() {
+                ov.add(u.fault(fid), 1u64 << (k % 63 + 1));
+            }
+            let live = live_nets(&nl, fc);
+            let mut r = rng(0xF00D);
+            let mut sf = SimScratch::new(cc);
+            let mut sg = SimScratch::new(cc);
+            for round in 0..6 {
+                seed_pair(&nl, &mut sf, &mut sg, &mut r);
+                if round % 2 == 0 {
+                    fsim.eval(&mut sf);
+                    sim.eval(&mut sg);
+                } else {
+                    fsim.eval_with(&mut sf, &ov);
+                    sim.eval_with(&mut sg, &ov);
+                }
+                for &net in &live {
+                    assert_eq!(
+                        sf.value(net),
+                        sg.value(net),
+                        "{}: round {round} net {}",
+                        nl.name(),
+                        nl.net_name(net)
+                    );
+                }
+                assert_eq!(sf.check_dual_rail(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_wide_pass_matches_scalar_fused_per_lane() {
+        let nl = generate(&SynthSpec::new("fw", 5, 3, 6, 700, 41).with_layers(6)).unwrap();
+        let cc = nl.compiled();
+        let fc = nl.fused();
+        let fsim = FusedSim::new(cc, fc);
+        let u = FaultUniverse::full(&nl);
+        let mut ov = Overrides::new(&nl);
+        for (k, &fid) in u.representatives().iter().take(40).enumerate() {
+            ov.add(u.fault(fid), 1u64 << (k % 63 + 1));
+        }
+        let live = live_nets(&nl, fc);
+        let mut r = rng(0xBEAD);
+        let mut wide = SimScratch::new_wide(cc);
+        for round in 0..4 {
+            let mut seeds = Vec::new();
+            for &pi in nl.pis() {
+                let w = random_w3x4(&mut r);
+                wide.set_source_wide(pi, w);
+                seeds.push((pi, w));
+            }
+            for ff in nl.ffs() {
+                let w = random_w3x4(&mut r);
+                wide.set_source_wide(ff.q(), w);
+                seeds.push((ff.q(), w));
+            }
+            if round % 2 == 0 {
+                fsim.eval_wide(&mut wide);
+            } else {
+                fsim.eval_with_wide(&mut wide, &ov);
+            }
+            for l in 0..LANES {
+                let mut scalar = SimScratch::new(cc);
+                for &(net, w) in &seeds {
+                    scalar.set_source(net, w.lane(l));
+                }
+                if round % 2 == 0 {
+                    fsim.eval(&mut scalar);
+                } else {
+                    fsim.eval_with(&mut scalar, &ov);
+                }
+                for &net in &live {
+                    assert_eq!(
+                        wide.value_wide(net).lane(l),
+                        scalar.value(net),
+                        "round {round} lane {l} net {}",
+                        nl.net_name(net)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_delta_matches_fused_full_pass() {
+        let nl = generate(&SynthSpec::new("fd", 6, 4, 9, 500, 87).with_layers(5)).unwrap();
+        let cc = nl.compiled();
+        let fc = nl.fused();
+        let live = live_nets(&nl, fc);
+        let u = FaultUniverse::full(&nl);
+        for use_ov in [false, true] {
+            let mut ov = Overrides::new(&nl);
+            if use_ov {
+                for (k, &fid) in u.representatives().iter().take(30).enumerate() {
+                    ov.add(u.fault(fid), 1u64 << (k % 63 + 1));
+                }
+            }
+            let mut fsim = FusedSim::new(cc, fc);
+            let mut fast = SimScratch::new(cc);
+            let mut r = rng(0xCAFE);
+            for &pi in nl.pis() {
+                fast.set_source(pi, random_w3(&mut r));
+            }
+            for ff in nl.ffs() {
+                fast.set_source(ff.q(), random_w3(&mut r));
+            }
+            if use_ov {
+                fsim.eval_with(&mut fast, &ov);
+            } else {
+                fsim.eval(&mut fast);
+            }
+            for round in 0..8 {
+                for &pi in nl.pis() {
+                    if r() & 3 == 0 {
+                        fast.set_source(pi, random_w3(&mut r));
+                    }
+                }
+                for ff in nl.ffs() {
+                    if r() & 3 == 0 {
+                        fast.set_source(ff.q(), random_w3(&mut r));
+                    }
+                }
+                if use_ov {
+                    fsim.eval_delta_with(&mut fast, &ov);
+                } else {
+                    fsim.eval_delta(&mut fast);
+                }
+                let mut slow = SimScratch::new(cc);
+                for &pi in nl.pis() {
+                    slow.set_source(pi, fast.value(pi));
+                }
+                for ff in nl.ffs() {
+                    slow.set_source(ff.q(), fast.value(ff.q()));
+                }
+                if use_ov {
+                    fsim.eval_with(&mut slow, &ov);
+                } else {
+                    fsim.eval(&mut slow);
+                }
+                for &net in &live {
+                    assert_eq!(
+                        fast.value(net),
+                        slow.value(net),
+                        "ov {use_ov} round {round} net {}",
+                        nl.net_name(net)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_wide_delta_matches_fused_wide_full_pass() {
+        let nl = generate(&SynthSpec::new("fwd", 5, 3, 6, 600, 19).with_layers(6)).unwrap();
+        let cc = nl.compiled();
+        let fc = nl.fused();
+        let live = live_nets(&nl, fc);
+        let mut fsim = FusedSim::new(cc, fc);
+        let mut fast = SimScratch::new_wide(cc);
+        let mut r = rng(0xD1CE);
+        for &pi in nl.pis() {
+            fast.set_source_wide(pi, random_w3x4(&mut r));
+        }
+        for ff in nl.ffs() {
+            fast.set_source_wide(ff.q(), random_w3x4(&mut r));
+        }
+        fsim.eval_wide(&mut fast);
+        for round in 0..6 {
+            for &pi in nl.pis() {
+                if r() & 1 == 0 {
+                    fast.set_source_wide(pi, random_w3x4(&mut r));
+                }
+            }
+            fsim.eval_delta_wide(&mut fast);
+            let mut slow = SimScratch::new_wide(cc);
+            for &pi in nl.pis() {
+                slow.set_source_wide(pi, fast.value_wide(pi));
+            }
+            for ff in nl.ffs() {
+                slow.set_source_wide(ff.q(), fast.value_wide(ff.q()));
+            }
+            fsim.eval_wide(&mut slow);
+            for &net in &live {
+                assert_eq!(
+                    fast.value_wide(net),
+                    slow.value_wide(net),
+                    "round {round} net {}",
+                    nl.net_name(net)
+                );
+            }
+        }
+    }
+
+    /// The stored ternary LUT is the unit's functional spec: on every
+    /// simulated slot, looking up the externally stored input values must
+    /// reproduce the root value the micro-program computed.
+    #[test]
+    fn lut_oracle_agrees_with_simulated_roots() {
+        let nl = generate(&SynthSpec::new("flo", 5, 3, 6, 800, 57).with_layers(7)).unwrap();
+        let cc = nl.compiled();
+        let fc = nl.fused();
+        let fsim = FusedSim::new(cc, fc);
+        let mut s = SimScratch::new(cc);
+        let mut r = rng(0xFACE);
+        for &pi in nl.pis() {
+            s.set_source(pi, random_w3(&mut r));
+        }
+        for ff in nl.ffs() {
+            s.set_source(ff.q(), random_w3(&mut r));
+        }
+        fsim.eval(&mut s);
+        let enc = |v: V3| match v {
+            V3::Zero => T0,
+            V3::One => T1,
+            V3::X => TX,
+        };
+        let mut checked = 0;
+        for u in 0..fc.num_units() {
+            let Some(lut) = fc.lut(u) else { continue };
+            checked += 1;
+            let ext = fc.ext_inputs(u);
+            for slot in 0..64 {
+                let idx: usize = ext
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| enc(s.value(net).get(slot)) as usize * 3usize.pow(i as u32))
+                    .sum();
+                let want = match lut[idx] {
+                    T0 => V3::Zero,
+                    T1 => V3::One,
+                    _ => V3::X,
+                };
+                assert_eq!(
+                    s.value(fc.root_net(u)).get(slot),
+                    want,
+                    "unit {u} slot {slot}"
+                );
+            }
+        }
+        assert!(checked > 0, "no tabulated unit on a layered circuit");
+    }
+
+    /// Fused counters follow the gate-word convention: full pass credits
+    /// `G × words`; delta partitions `G × words` into touched cones and
+    /// skips.
+    #[test]
+    fn fused_counters_are_gate_word_consistent() {
+        let nl = generate(&SynthSpec::new("fcn", 6, 4, 9, 400, 13).with_layers(5)).unwrap();
+        let cc = nl.compiled();
+        let fc = nl.fused();
+        let g = cc.num_gates() as u64;
+        let mut fsim = FusedSim::new(cc, fc);
+        let mut r = rng(0xB0B);
+
+        let scope = crate::stats::scoped();
+        crate::stats::set_phase("fused");
+        let mut s = SimScratch::new(cc);
+        for &pi in nl.pis() {
+            s.set_source(pi, random_w3(&mut r));
+        }
+        for ff in nl.ffs() {
+            s.set_source(ff.q(), random_w3(&mut r));
+        }
+        fsim.eval(&mut s);
+        crate::stats::flush();
+        assert_eq!(scope.report().totals().gate_evals, g);
+
+        let scope = crate::stats::scoped();
+        crate::stats::set_phase("fused-wide");
+        let mut w = SimScratch::new_wide(cc);
+        for &pi in nl.pis() {
+            w.set_source_wide(pi, random_w3x4(&mut r));
+        }
+        for ff in nl.ffs() {
+            w.set_source_wide(ff.q(), random_w3x4(&mut r));
+        }
+        fsim.eval_wide(&mut w);
+        crate::stats::flush();
+        assert_eq!(scope.report().totals().gate_evals, g * LANES as u64);
+
+        let scope = crate::stats::scoped();
+        crate::stats::set_phase("fused-delta");
+        s.set_source(nl.pis()[0], random_w3(&mut r));
+        fsim.eval_delta(&mut s);
+        crate::stats::flush();
+        let t = scope.report().totals();
+        assert_eq!(t.gate_evals + t.events_skipped, g);
+        assert!(t.events_skipped > 0, "a one-PI reseed skips most cones");
+    }
+
+    /// A unit with an interior stem override must take the slow path and
+    /// reproduce the per-gate engine's root value exactly.
+    #[test]
+    fn interior_stem_faults_propagate_through_cones() {
+        use crate::fault::{Fault, FaultSite};
+        let nl = generate(&SynthSpec::new("fis", 5, 3, 6, 700, 29).with_layers(6)).unwrap();
+        let cc = nl.compiled();
+        let fc = nl.fused();
+        // Find an interior net of some multi-gate cone.
+        let interior = (0..cc.num_gates())
+            .map(GateId::from_index)
+            .map(|g| cc.output(g))
+            .find(|&n| fc.interior_unit(n).is_some())
+            .expect("layered circuit fuses at least one cone");
+        for stuck in [false, true] {
+            let mut ov = Overrides::new(&nl);
+            ov.add(
+                Fault {
+                    site: FaultSite::Stem(interior),
+                    stuck,
+                },
+                !0u64 >> 1,
+            );
+            let sim = CompiledSim::new(cc);
+            let fsim = FusedSim::new(cc, fc);
+            let mut sf = SimScratch::new(cc);
+            let mut sg = SimScratch::new(cc);
+            let mut r = rng(0xAB5E);
+            seed_pair(&nl, &mut sf, &mut sg, &mut r);
+            fsim.eval_with(&mut sf, &ov);
+            sim.eval_with(&mut sg, &ov);
+            for &net in &live_nets(&nl, fc) {
+                assert_eq!(
+                    sf.value(net),
+                    sg.value(net),
+                    "stuck {stuck} net {}",
+                    nl.net_name(net)
+                );
+            }
+        }
+    }
+}

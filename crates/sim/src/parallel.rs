@@ -33,7 +33,64 @@ use crate::fsim_seq::{DetectionProfile, FinalObserve, SeqFaultSim};
 use crate::stats;
 use crate::vectors::{Sequence, State};
 
-/// Threading configuration for the simulation substrate.
+/// Which evaluation kernel the simulation engines run on.
+///
+/// Every engine produces **identical results** at every kind — the kinds
+/// trade evaluation strategy, not semantics:
+///
+/// - [`EngineKind::Scalar`] — one 64-slot [`W3`](crate::logic::W3) word
+///   per net, gate at a time (the historical kernel, and the default);
+/// - [`EngineKind::Wide`] — [`LANES`](crate::logic::LANES) × 64-slot
+///   [`W3x4`](crate::logic::W3x4) blocks per net, gate at a time, for
+///   engines with a batchable pattern dimension;
+/// - [`EngineKind::WideFused`] — wide blocks over the cone-fused unit
+///   schedule ([`FusedSim`](crate::fused::FusedSim)). After a fused pass
+///   only root and source nets hold live values, so engines that read
+///   arbitrary interior nets (the PPSFP good machine, PODEM's forward
+///   sim) degrade to [`EngineKind::Wide`] — each engine's docs state its
+///   behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Scalar gate-at-a-time kernel (default).
+    #[default]
+    Scalar,
+    /// SIMD-widened gate-at-a-time kernel.
+    Wide,
+    /// SIMD-widened kernel over the cone-fused unit schedule.
+    WideFused,
+}
+
+impl EngineKind {
+    /// All kinds, for exhaustive sweeps in tests and fuzzing.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Scalar, EngineKind::Wide, EngineKind::WideFused];
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(EngineKind::Scalar),
+            "wide" => Ok(EngineKind::Wide),
+            "wide+fused" | "wide-fused" | "fused" => Ok(EngineKind::WideFused),
+            other => Err(format!(
+                "unknown engine `{other}` (expected scalar, wide, or wide+fused)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Wide => "wide",
+            EngineKind::WideFused => "wide+fused",
+        })
+    }
+}
+
+/// Threading and kernel configuration for the simulation substrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Worker threads. `1` reproduces the single-threaded engines
@@ -43,6 +100,9 @@ pub struct SimConfig {
     /// calls, 64-test blocks (or scan tests) per claim for test-sharded
     /// calls. `0` picks a balanced size automatically.
     pub chunk_size: usize,
+    /// Evaluation kernel. Engines built through this config inherit it;
+    /// every kind produces identical results (see [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl Default for SimConfig {
@@ -50,21 +110,29 @@ impl Default for SimConfig {
         SimConfig {
             threads: 1,
             chunk_size: 0,
+            engine: EngineKind::Scalar,
         }
     }
 }
 
 impl SimConfig {
-    /// Reads `SIM_THREADS` from the environment: unset or unparsable means
-    /// `1` (serial), `0` means one thread per available core.
+    /// Reads `SIM_THREADS` (unset or unparsable means `1`, serial; `0`
+    /// means one thread per available core) and `SIM_ENGINE` (`scalar`,
+    /// `wide`, or `wide+fused`; unset or unparsable means `scalar`) from
+    /// the environment.
     pub fn from_env() -> Self {
         let threads = std::env::var("SIM_THREADS")
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
             .unwrap_or(1);
+        let engine = std::env::var("SIM_ENGINE")
+            .ok()
+            .and_then(|s| s.parse::<EngineKind>().ok())
+            .unwrap_or_default();
         SimConfig {
             threads,
             chunk_size: 0,
+            engine,
         }
     }
 
@@ -73,7 +141,14 @@ impl SimConfig {
         SimConfig {
             threads,
             chunk_size: 0,
+            engine: EngineKind::Scalar,
         }
+    }
+
+    /// This config with a different evaluation kernel.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The actual worker count for a call: `threads` (resolving `0` to the
@@ -327,7 +402,8 @@ impl<'a> ParallelFsim<'a> {
     ) -> Vec<u64> {
         let threads = self.cfg.effective_threads(faults.len());
         if threads <= 1 {
-            return CombFaultSim::new(self.nl).detect_block(tests, faults, universe);
+            return CombFaultSim::with_engine(self.nl, self.cfg.engine)
+                .detect_block(tests, faults, universe);
         }
         assert!(
             !tests.is_empty() && tests.len() <= 64,
@@ -338,7 +414,7 @@ impl<'a> ParallelFsim<'a> {
         let masks = self.run_partitioned(
             &parts,
             threads,
-            || CombFaultSim::new(self.nl),
+            || CombFaultSim::with_engine(self.nl, self.cfg.engine),
             |sim, part| {
                 stats::add_invocation();
                 let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
@@ -366,7 +442,8 @@ impl<'a> ParallelFsim<'a> {
         let blocks: Vec<&[CombTest]> = tests.chunks(64).collect();
         let threads = self.cfg.effective_threads(blocks.len());
         if threads <= 1 {
-            return CombFaultSim::new(self.nl).detect_all(tests, faults, universe);
+            return CombFaultSim::with_engine(self.nl, self.cfg.engine)
+                .detect_all(tests, faults, universe);
         }
         let chunk = if self.cfg.chunk_size > 0 {
             self.cfg.chunk_size
@@ -380,7 +457,7 @@ impl<'a> ParallelFsim<'a> {
             for _ in 0..threads {
                 s.spawn(|| {
                     let _g = h.enter();
-                    let mut sim = CombFaultSim::new(self.nl);
+                    let mut sim = CombFaultSim::with_engine(self.nl, self.cfg.engine);
                     let mut alive_idx: Vec<usize> = Vec::with_capacity(faults.len());
                     let mut alive_ids: Vec<FaultId> = Vec::with_capacity(faults.len());
                     loop {
@@ -428,7 +505,8 @@ impl<'a> ParallelFsim<'a> {
     ) -> Vec<Vec<u64>> {
         let threads = self.cfg.effective_threads(faults.len());
         if threads <= 1 {
-            return CombFaultSim::new(self.nl).detect_matrix(tests, faults, universe);
+            return CombFaultSim::with_engine(self.nl, self.cfg.engine)
+                .detect_matrix(tests, faults, universe);
         }
         let words = tests.len().div_ceil(64);
         let parts =
@@ -436,7 +514,7 @@ impl<'a> ParallelFsim<'a> {
         let rows = self.run_partitioned(
             &parts,
             threads,
-            || CombFaultSim::new(self.nl),
+            || CombFaultSim::with_engine(self.nl, self.cfg.engine),
             |sim, part| {
                 stats::add_invocation();
                 let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
@@ -525,14 +603,15 @@ impl<'a> ParallelFsim<'a> {
     ) -> Vec<bool> {
         let threads = self.cfg.effective_threads(faults.len());
         if threads <= 1 {
-            return SeqFaultSim::new(self.nl).detect_observed(init, seq, faults, universe, observe);
+            return SeqFaultSim::with_engine(self.nl, self.cfg.engine)
+                .detect_observed(init, seq, faults, universe, observe);
         }
         let parts =
             self.fault_partitions(faults, universe, self.fault_units(faults.len(), threads));
         let dets = self.run_partitioned(
             &parts,
             threads,
-            || SeqFaultSim::new(self.nl),
+            || SeqFaultSim::with_engine(self.nl, self.cfg.engine),
             |sim, part| {
                 let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
                 sim.detect_observed(init, seq, &ids, universe, observe)
@@ -574,7 +653,7 @@ impl<'a> ParallelFsim<'a> {
     ) -> (Vec<DetectionProfile>, u64) {
         let threads = self.cfg.effective_threads(faults.len());
         if threads <= 1 {
-            return SeqFaultSim::new(self.nl).profiles_bounded(
+            return SeqFaultSim::with_engine(self.nl, self.cfg.engine).profiles_bounded(
                 init,
                 seq,
                 faults,
@@ -587,7 +666,7 @@ impl<'a> ParallelFsim<'a> {
         let results = self.run_partitioned(
             &parts,
             threads,
-            || SeqFaultSim::new(self.nl),
+            || SeqFaultSim::with_engine(self.nl, self.cfg.engine),
             |sim, part| {
                 let ids: Vec<FaultId> = part.iter().map(|&k| faults[k]).collect();
                 sim.profiles_bounded(init, seq, &ids, universe, max_state_words)
@@ -623,7 +702,7 @@ impl<'a> ParallelFsim<'a> {
     ) -> Vec<bool> {
         let threads = self.cfg.effective_threads(runs.len());
         if threads <= 1 {
-            let mut sim = SeqFaultSim::new(self.nl);
+            let mut sim = SeqFaultSim::with_engine(self.nl, self.cfg.engine);
             let mut detected = vec![false; faults.len()];
             let mut alive: Vec<usize> = (0..faults.len()).collect();
             for (init, seq) in runs {
@@ -659,7 +738,7 @@ impl<'a> ParallelFsim<'a> {
             for _ in 0..threads {
                 s.spawn(|| {
                     let _g = h.enter();
-                    let mut sim = SeqFaultSim::new(self.nl);
+                    let mut sim = SeqFaultSim::with_engine(self.nl, self.cfg.engine);
                     let mut alive_idx: Vec<usize> = Vec::with_capacity(faults.len());
                     let mut alive_ids: Vec<FaultId> = Vec::with_capacity(faults.len());
                     loop {
@@ -729,14 +808,7 @@ mod tests {
         assert_eq!(cfg.effective_threads(100), 8);
         assert_eq!(cfg.effective_threads(0), 1);
         assert_eq!(SimConfig::default().effective_threads(100), 1);
-        assert!(
-            SimConfig {
-                threads: 0,
-                chunk_size: 0
-            }
-            .effective_threads(100)
-                >= 1
-        );
+        assert!(SimConfig::with_threads(0).effective_threads(100) >= 1);
     }
 
     #[test]
@@ -820,6 +892,7 @@ mod tests {
             SimConfig {
                 threads: 4,
                 chunk_size: 100,
+                ..SimConfig::default()
             },
         );
         assert_eq!(chunked.fault_units(1000, 4), 10);

@@ -25,9 +25,13 @@
 //!
 //! Counter semantics:
 //!
-//! - **gate evaluations** — single-gate, 64-slot-wide evaluations: a full
-//!   levelized pass counts one per gate, an event-driven fault propagation
-//!   counts only the gates it touched;
+//! - **gate evaluations** — gate-words: one unit is one gate evaluated over
+//!   one 64-slot word. A scalar full pass counts one per gate, a wide
+//!   (`W3x4`) pass counts `LANES` per gate, a fused pass counts every gate
+//!   inside its evaluated units, and event-driven propagation counts only
+//!   the gate-words it touched. Skipped work is reported in the same unit
+//!   (`events_skipped`), so for any delta pass
+//!   `evals + skipped == num_gates × words`;
 //! - **invocations** — engine-level fault-simulation entry points
 //!   (`detect*`, `profiles`). A parallel call that fans out to `P`
 //!   partitions counts once per partition;

@@ -9,6 +9,13 @@
 //! 1. **logic** — the legacy [`CombSim`] walker against the compiled CSR
 //!    kernel ([`CompiledSim`]) on the full-pass, fault-override, and
 //!    event-driven delta paths, over random 3-valued inputs;
+//!    and **logic-wide / logic-fused** — the wide (`W3x4`) compiled
+//!    kernel lane-by-lane against the scalar one, and the cone-fused
+//!    kernel ([`FusedSim`], scalar and wide) against the scalar compiled
+//!    kernel on the nets the fused contract keeps live, on the same three
+//!    paths; both also validate the dual-rail invariant explicitly (the
+//!    kernels' own checks are `debug_assert`s, compiled out of release
+//!    fuzzing binaries);
 //! 2. **comb-detect / matrix** — the serial PPSFP engine against the
 //!    test-sharded (fault-dropping) parallel front end, plus the
 //!    fault-sharded detection matrix against the detection bitmap
@@ -27,11 +34,11 @@ use std::path::PathBuf;
 
 use atspeed_atpg::compact::{check_omission_differential, OmissionConfig};
 use atspeed_circuit::synth::{generate, SynthSpec};
-use atspeed_circuit::Netlist;
+use atspeed_circuit::{NetId, Netlist};
 use atspeed_sim::fault::{FaultId, FaultUniverse};
 use atspeed_sim::{
-    CombFaultSim, CombSim, CombTest, CompiledSim, Overrides, ParallelFsim, SeqFaultSim, Sequence,
-    SimConfig, SimScratch, State, V3, W3,
+    CombFaultSim, CombSim, CombTest, CompiledSim, FusedSim, Overrides, ParallelFsim, SeqFaultSim,
+    Sequence, SimConfig, SimScratch, State, W3x4, LANES, V3, W3,
 };
 
 /// Salt so stimuli derivation is independent of how many random draws the
@@ -92,8 +99,11 @@ impl Case {
 /// A disagreement between two engine implementations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Divergence {
-    /// Which differential check failed (`logic`, `comb-detect`, `matrix`,
-    /// `seq-detect`, `omission`, or `synth` when generation itself errors).
+    /// Which differential check failed (`logic`, `logic-wide`,
+    /// `logic-fused`, `comb-detect`, `matrix`, `seq-detect`, `omission`,
+    /// or `synth` when generation itself errors). For the engine-variant
+    /// checks the name records which kernel diverged — it is written into
+    /// the repro bundle's `case.txt`.
     pub check: &'static str,
     /// Human-readable description of the first disagreement found.
     pub detail: String,
@@ -138,6 +148,16 @@ fn random_w3(next: &mut impl FnMut() -> u64) -> W3 {
         zero: a & !b,
         one: !a & b,
     }
+}
+
+/// A random wide word: every lane an independent random [`W3`] (so the
+/// wide checks see X-heavy, lane-diverse data).
+fn random_w3x4(next: &mut impl FnMut() -> u64) -> W3x4 {
+    let mut w = W3x4::ALL_X;
+    for l in 0..LANES {
+        w.set_lane(l, random_w3(next));
+    }
+    w
 }
 
 /// A random scalar value: X with probability 1/16, else a fair bit.
@@ -263,6 +283,219 @@ fn check_logic(
     Ok(checks)
 }
 
+/// Wide (`W3x4`) compiled kernel vs the scalar compiled kernel, lane by
+/// lane, on the full, override, and delta paths. Every net is compared
+/// (the compiled kernel stores all of them at both widths), and the
+/// dual-rail invariant is validated explicitly after each wide pass.
+fn check_logic_wide(
+    nl: &Netlist,
+    u: &FaultUniverse,
+    next: &mut impl FnMut() -> u64,
+) -> Result<usize, Divergence> {
+    let cc = nl.compiled();
+    let sim = CompiledSim::new(cc);
+    let ov = random_overrides(nl, u, next);
+    let mut wide = SimScratch::new_wide(cc);
+    let mut checks = 0;
+
+    // Two full/delta pairs: fault-free, then with overrides (each delta
+    // follows a full pass of the same width and override set).
+    for (pair, faulty) in [false, true].into_iter().enumerate() {
+        for delta in [false, true] {
+            for &pi in nl.pis() {
+                if !delta || next() & 1 == 0 {
+                    wide.set_source_wide(pi, random_w3x4(next));
+                }
+            }
+            for ff in nl.ffs() {
+                if !delta || next() & 1 == 0 {
+                    wide.set_source_wide(ff.q(), random_w3x4(next));
+                }
+            }
+            match (delta, faulty) {
+                (false, false) => sim.eval_wide(&mut wide),
+                (false, true) => sim.eval_with_wide(&mut wide, &ov),
+                (true, false) => sim.eval_delta_wide(&mut wide),
+                (true, true) => sim.eval_delta_with_wide(&mut wide, &ov),
+            }
+            if let Some(net) = wide.check_dual_rail() {
+                return Err(Divergence {
+                    check: "logic-wide",
+                    detail: format!(
+                        "pair {pair} delta {delta}: net `{}` violates zero & one == 0",
+                        nl.net_name(net)
+                    ),
+                });
+            }
+            for l in 0..LANES {
+                let mut scalar = SimScratch::new(cc);
+                for &pi in nl.pis() {
+                    scalar.set_source(pi, wide.value_wide(pi).lane(l));
+                }
+                for ff in nl.ffs() {
+                    scalar.set_source(ff.q(), wide.value_wide(ff.q()).lane(l));
+                }
+                if faulty {
+                    sim.eval_with(&mut scalar, &ov);
+                } else {
+                    sim.eval(&mut scalar);
+                }
+                for net in nl.net_ids() {
+                    if wide.value_wide(net).lane(l) != scalar.value(net) {
+                        return Err(Divergence {
+                            check: "logic-wide",
+                            detail: format!(
+                                "pair {pair} delta {delta} lane {l}: net `{}` wide {:?} vs \
+                                 scalar {:?}",
+                                nl.net_name(net),
+                                wide.value_wide(net).lane(l),
+                                scalar.value(net),
+                            ),
+                        });
+                    }
+                }
+            }
+            checks += 1;
+        }
+    }
+    Ok(checks)
+}
+
+/// Cone-fused kernel ([`FusedSim`], scalar and wide) vs the scalar
+/// compiled kernel on the nets the fused validity contract keeps live
+/// (sources and unit roots — which include every observed net), on the
+/// full, override, and delta paths, with an explicit dual-rail check.
+fn check_logic_fused(
+    nl: &Netlist,
+    u: &FaultUniverse,
+    next: &mut impl FnMut() -> u64,
+) -> Result<usize, Divergence> {
+    let cc = nl.compiled();
+    let fc = nl.fused();
+    let mut fsim = FusedSim::new(cc, fc);
+    let sim = CompiledSim::new(cc);
+    let ov = random_overrides(nl, u, next);
+    let mut live: Vec<NetId> = nl.pis().to_vec();
+    live.extend(nl.ffs().iter().map(|ff| ff.q()));
+    live.extend((0..fc.num_units()).map(|un| fc.root_net(un)));
+    let mut checks = 0;
+
+    // Scalar fused vs scalar compiled: full/delta, fault-free then faulty.
+    let mut fast = SimScratch::new(cc);
+    for (pair, faulty) in [false, true].into_iter().enumerate() {
+        for delta in [false, true] {
+            for &pi in nl.pis() {
+                if !delta || next() & 1 == 0 {
+                    fast.set_source(pi, random_w3(next));
+                }
+            }
+            for ff in nl.ffs() {
+                if !delta || next() & 1 == 0 {
+                    fast.set_source(ff.q(), random_w3(next));
+                }
+            }
+            match (delta, faulty) {
+                (false, false) => fsim.eval(&mut fast),
+                (false, true) => fsim.eval_with(&mut fast, &ov),
+                (true, false) => fsim.eval_delta(&mut fast),
+                (true, true) => fsim.eval_delta_with(&mut fast, &ov),
+            }
+            if let Some(net) = fast.check_dual_rail() {
+                return Err(Divergence {
+                    check: "logic-fused",
+                    detail: format!(
+                        "scalar pair {pair} delta {delta}: net `{}` violates zero & one == 0",
+                        nl.net_name(net)
+                    ),
+                });
+            }
+            let mut reference = SimScratch::new(cc);
+            for &pi in nl.pis() {
+                reference.set_source(pi, fast.value(pi));
+            }
+            for ff in nl.ffs() {
+                reference.set_source(ff.q(), fast.value(ff.q()));
+            }
+            if faulty {
+                sim.eval_with(&mut reference, &ov);
+            } else {
+                sim.eval(&mut reference);
+            }
+            for &net in &live {
+                if fast.value(net) != reference.value(net) {
+                    return Err(Divergence {
+                        check: "logic-fused",
+                        detail: format!(
+                            "scalar pair {pair} delta {delta}: net `{}` fused {:?} vs \
+                             compiled {:?}",
+                            nl.net_name(net),
+                            fast.value(net),
+                            reference.value(net),
+                        ),
+                    });
+                }
+            }
+            checks += 1;
+        }
+    }
+
+    // Wide fused vs scalar compiled, lane by lane: full passes, fault-free
+    // then faulty.
+    let mut wide = SimScratch::new_wide(cc);
+    for faulty in [false, true] {
+        for &pi in nl.pis() {
+            wide.set_source_wide(pi, random_w3x4(next));
+        }
+        for ff in nl.ffs() {
+            wide.set_source_wide(ff.q(), random_w3x4(next));
+        }
+        if faulty {
+            fsim.eval_with_wide(&mut wide, &ov);
+        } else {
+            fsim.eval_wide(&mut wide);
+        }
+        if let Some(net) = wide.check_dual_rail() {
+            return Err(Divergence {
+                check: "logic-fused",
+                detail: format!(
+                    "wide faulty {faulty}: net `{}` violates zero & one == 0",
+                    nl.net_name(net)
+                ),
+            });
+        }
+        for l in 0..LANES {
+            let mut scalar = SimScratch::new(cc);
+            for &pi in nl.pis() {
+                scalar.set_source(pi, wide.value_wide(pi).lane(l));
+            }
+            for ff in nl.ffs() {
+                scalar.set_source(ff.q(), wide.value_wide(ff.q()).lane(l));
+            }
+            if faulty {
+                sim.eval_with(&mut scalar, &ov);
+            } else {
+                sim.eval(&mut scalar);
+            }
+            for &net in &live {
+                if wide.value_wide(net).lane(l) != scalar.value(net) {
+                    return Err(Divergence {
+                        check: "logic-fused",
+                        detail: format!(
+                            "wide faulty {faulty} lane {l}: net `{}` fused {:?} vs \
+                             compiled {:?}",
+                            nl.net_name(net),
+                            wide.value_wide(net).lane(l),
+                            scalar.value(net),
+                        ),
+                    });
+                }
+            }
+        }
+        checks += 1;
+    }
+    Ok(checks)
+}
+
 fn first_mismatch(a: &[bool], b: &[bool], faults: &[FaultId]) -> String {
     match a.iter().zip(b).position(|(x, y)| x != y) {
         Some(i) => format!(
@@ -293,6 +526,8 @@ pub fn run_case(case: &Case, threads: &[usize]) -> Result<CaseReport, Divergence
     };
 
     report.checks += check_logic(&nl, &u, &mut next)?;
+    report.checks += check_logic_wide(&nl, &u, &mut next)?;
+    report.checks += check_logic_fused(&nl, &u, &mut next)?;
 
     let faults = sample_faults(&u, case.fault_cap);
     report.faults = faults.len();
