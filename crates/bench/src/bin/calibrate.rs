@@ -85,7 +85,13 @@ fn main() -> ExitCode {
         sim,
         ..CombTsetConfig::default()
     };
-    let c = comb_tset::generate(&nl, &u, &comb_cfg).unwrap();
+    let c = match comb_tset::generate(&nl, &u, &comb_cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("combinational test generation failed for {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     atspeed_trace::info!("bench.calibrate", "comb tset generated";
         wall_us = t.elapsed().as_micros(),
         tests = c.tests.len(),
@@ -114,7 +120,13 @@ fn main() -> ExitCode {
     let mut iterate_cfg = IterateConfig::default();
     iterate_cfg.phase1.sim = sim;
     iterate_cfg.omission.sim = sim;
-    let tau = build_tau_seq(&nl, &u, &t0, &c.tests, &targets, iterate_cfg).unwrap();
+    let tau = match build_tau_seq(&nl, &u, &t0, &c.tests, &targets, iterate_cfg) {
+        Ok(tau) => tau,
+        Err(e) => {
+            eprintln!("tau_seq construction failed for {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     atspeed_trace::info!("bench.calibrate", "tau_seq built";
         wall_us = t.elapsed().as_micros(),
         len = tau.test.len(),

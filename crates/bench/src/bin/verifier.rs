@@ -22,17 +22,23 @@
 //! `--replay DIR` instead loads a previously dumped bundle and re-runs the
 //! serial-vs-parallel differentials on it — the tight loop for debugging a
 //! divergence after the engines changed.
+//!
+//! `--malformed N` instead runs the malformed-input fuzz loop: `N`
+//! deterministically mutated `.bench` and vector payloads through the
+//! parsing surfaces a served request reaches, asserting structured
+//! rejection and no panics.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use atspeed_bench::telemetry::TelemetryArgs;
-use atspeed_verify::{load_repro, replay, run_fuzz, FuzzConfig};
+use atspeed_verify::{load_repro, replay, run_fuzz, run_malformed_fuzz, FuzzConfig};
 
 struct Args {
     fuzz: FuzzConfig,
     replay: Option<PathBuf>,
+    malformed: Option<usize>,
     telemetry: TelemetryArgs,
 }
 
@@ -43,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
             ..FuzzConfig::default()
         },
         replay: None,
+        malformed: None,
         telemetry: TelemetryArgs::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -79,11 +86,18 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => {
                 args.replay = Some(PathBuf::from(it.next().ok_or("--replay needs a path")?));
             }
+            "--malformed" => {
+                let v = it.next().ok_or("--malformed needs an iteration count")?;
+                args.malformed = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad iteration count `{v}`"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: verifier [--seed N] [--iters N] [--threads a,b] [--out-dir DIR] \
-                     [--shrink-steps N] [--replay DIR] [--trace FILE] [--metrics-json FILE] \
-                     [--profile FILE] [--profile-hz N] [--history FILE] \
+                     [--shrink-steps N] [--replay DIR] [--malformed N] [--trace FILE] \
+                     [--metrics-json FILE] [--profile FILE] [--profile-hz N] [--history FILE] \
                      [--log LEVEL]"
                         .to_owned(),
                 )
@@ -145,6 +159,19 @@ fn main() -> ExitCode {
 
     if let Some(dir) = &args.replay {
         return replay_bundle(dir, &args.fuzz.threads);
+    }
+
+    if let Some(iters) = args.malformed {
+        let start = Instant::now();
+        let out = run_malformed_fuzz(args.fuzz.seed, iters);
+        println!(
+            "{} malformed inputs: {} rejected, {} accepted, 0 panics ({} ms)",
+            out.cases_run,
+            out.rejected,
+            out.accepted,
+            start.elapsed().as_millis(),
+        );
+        return ExitCode::SUCCESS;
     }
 
     let start = Instant::now();

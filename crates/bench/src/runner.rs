@@ -226,13 +226,17 @@ pub fn try_run_circuits_opts(
                     break;
                 }
                 let exp = try_run_circuit_opts(&infos[i], opts);
-                out.lock().expect("runner mutex poisoned")[i] = Some(exp);
+                // Recover from poisoning: a panicking sibling worker must
+                // not hide this circuit's (already computed) result.
+                out.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(exp);
             });
         }
     });
     out.into_inner()
-        .expect("runner mutex poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
+        // `scope` re-raises worker panics before we get here, so every
+        // slot is filled whenever this line runs.
         .map(|e| e.expect("every circuit ran"))
         .collect()
 }

@@ -289,10 +289,12 @@ pub fn metrics_json_with_derived(report: &SimReport) -> String {
         DerivedMetrics::compute(report, &snapshot).to_json_body()
     );
     // Splice the derived object into the snapshot's top-level JSON object.
+    // If the snapshot ever isn't one, fall back to wrapping rather than
+    // aborting a run whose results are already computed.
     let trimmed = base.trim_end();
-    let body = trimmed
-        .strip_suffix('}')
-        .expect("snapshot JSON is an object");
+    let Some(body) = trimmed.strip_suffix('}') else {
+        return format!("{{\"snapshot\":{trimmed},{derived}}}");
+    };
     if body.trim_end().ends_with('{') {
         format!("{body}{derived}}}")
     } else {

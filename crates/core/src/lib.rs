@@ -58,5 +58,5 @@ pub use phase4::{
     baseline4, combine_tests, combine_tests_cfg, combine_tests_with, Baseline4Result,
     CombineConfig, StaticCompactionStats, TransferConfig,
 };
-pub use pipeline::{MemoryBudget, Pipeline, PipelineResult, T0Source};
+pub use pipeline::{MemoryBudget, Pipeline, PipelineConfig, PipelineResult, T0Source};
 pub use test::{AtSpeedStats, ScanTest, TestSet};

@@ -65,6 +65,78 @@ pub enum T0Source {
     },
 }
 
+/// A plain-data description of one pipeline run — everything a
+/// [`Pipeline`] needs except the netlist itself.
+///
+/// Where the builder borrows its circuit and reads `SIM_THREADS` from the
+/// environment, a `PipelineConfig` is `Send + Sync + 'static` and fully
+/// explicit, so it can cross threads as a job payload: a batch server
+/// holds `(Arc<Netlist>, PipelineConfig)` pairs and each worker runs
+/// [`Pipeline::from_config`] reentrantly. Two configs with equal
+/// [`PipelineConfig::canonical_lines`] produce byte-identical results on
+/// the same netlist, which is what content-addressed result caches key
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Where `T_0` comes from.
+    pub t0_source: T0Source,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether Phase 4 (static compaction) runs.
+    pub phase4: bool,
+    /// Whether the end-to-end coverage oracle re-checks the run.
+    pub verify: bool,
+    /// Threading/kernel configuration. Never read from the environment:
+    /// a served job must not change behavior with the server's env.
+    pub sim: SimConfig,
+    /// Memory bounds for the profile- and cache-heavy phases.
+    pub memory: MemoryBudget,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            t0_source: T0Source::Directed { max_len: 1024 },
+            seed: 1,
+            phase4: true,
+            verify: false,
+            sim: SimConfig::default(),
+            memory: MemoryBudget::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The canonical `key = value` rendering of the **result-determining**
+    /// fields, one per line, sorted by key.
+    ///
+    /// This is the basis of config fingerprints: two configs with equal
+    /// canonical lines yield byte-identical [`PipelineResult`]s on the
+    /// same netlist. Execution knobs that are guaranteed not to change
+    /// results — worker threads, chunk size, the evaluation kernel — are
+    /// deliberately **excluded**, so a cache keyed on these lines serves
+    /// a result computed at any thread count to a client asking at any
+    /// other.
+    pub fn canonical_lines(&self) -> String {
+        let (t0, t0_len) = match self.t0_source {
+            T0Source::Directed { max_len } => ("directed", max_len),
+            T0Source::Property { max_len } => ("property", max_len),
+            T0Source::Random { len } => ("random", len),
+        };
+        format!(
+            "max_failed_pairs = {}\nphase4 = {}\nprofile_state_words = {}\n\
+             seed = {}\nt0 = {}\nt0_len = {}\nverify = {}\n",
+            self.memory.max_failed_pairs,
+            u8::from(self.phase4),
+            self.memory.profile_state_words,
+            self.seed,
+            t0,
+            t0_len,
+            u8::from(self.verify),
+        )
+    }
+}
+
 /// Builder for one pipeline run over a circuit.
 #[derive(Debug, Clone)]
 pub struct Pipeline<'a> {
@@ -101,6 +173,27 @@ impl<'a> Pipeline<'a> {
             sim: SimConfig::from_env(),
             verify: false,
             memory: MemoryBudget::default(),
+        }
+    }
+
+    /// Creates a pipeline for `nl` from a plain-data [`PipelineConfig`].
+    ///
+    /// Unlike [`Pipeline::new`] this never consults the environment: the
+    /// config says everything, so a batch server running many jobs on one
+    /// process gets identical behavior regardless of its own `SIM_THREADS`.
+    pub fn from_config(nl: &'a Netlist, cfg: &PipelineConfig) -> Self {
+        Pipeline {
+            nl,
+            t0_source: cfg.t0_source,
+            seed: cfg.seed,
+            comb_cfg: CombTsetConfig::default(),
+            iterate_cfg: IterateConfig::default(),
+            run_phase4: cfg.phase4,
+            provided_t0: None,
+            provided_c: None,
+            sim: cfg.sim,
+            verify: cfg.verify,
+            memory: cfg.memory,
         }
     }
 
@@ -537,5 +630,82 @@ mod tests {
         assert_eq!(a.init_cycles, b.init_cycles);
         assert_eq!(a.comp_cycles, b.comp_cycles);
         assert_eq!(a.initial_set, b.initial_set);
+    }
+
+    #[test]
+    fn from_config_matches_equivalent_builder() {
+        let nl = s27();
+        let cfg = PipelineConfig {
+            t0_source: T0Source::Random { len: 64 },
+            seed: 7,
+            phase4: true,
+            verify: true,
+            ..PipelineConfig::default()
+        };
+        let a = Pipeline::from_config(&nl, &cfg).run().unwrap();
+        let b = Pipeline::new(&nl)
+            .t0_source(T0Source::Random { len: 64 })
+            .seed(7)
+            .verify(true)
+            .sim_config(SimConfig::default())
+            .run()
+            .unwrap();
+        assert_eq!(a.initial_set, b.initial_set);
+        assert_eq!(a.compacted_set, b.compacted_set);
+        assert_eq!(a.final_detected, b.final_detected);
+    }
+
+    #[test]
+    fn canonical_lines_track_results_not_execution_knobs() {
+        let base = PipelineConfig::default();
+
+        // Execution knobs (threads, engine, chunking) never change results,
+        // so they must not change the canonical rendering either.
+        let mut threaded = base;
+        threaded.sim = SimConfig {
+            threads: 8,
+            chunk_size: 3,
+            engine: atspeed_sim::EngineKind::WideFused,
+        };
+        assert_eq!(base.canonical_lines(), threaded.canonical_lines());
+
+        // Every result-determining field must show up.
+        for changed in [
+            PipelineConfig { seed: 2, ..base },
+            PipelineConfig {
+                t0_source: T0Source::Random { len: 1024 },
+                ..base
+            },
+            PipelineConfig {
+                t0_source: T0Source::Directed { max_len: 512 },
+                ..base
+            },
+            PipelineConfig {
+                phase4: false,
+                ..base
+            },
+            PipelineConfig {
+                verify: true,
+                ..base
+            },
+            PipelineConfig {
+                memory: MemoryBudget {
+                    profile_state_words: 1,
+                    max_failed_pairs: 2,
+                },
+                ..base
+            },
+        ] {
+            assert_ne!(
+                base.canonical_lines(),
+                changed.canonical_lines(),
+                "{changed:?} must fingerprint differently"
+            );
+        }
+
+        // Stable, line-oriented, `key = value` shape.
+        let lines = base.canonical_lines();
+        assert!(lines.ends_with('\n'));
+        assert!(lines.lines().all(|l| l.contains(" = ")));
     }
 }

@@ -1,0 +1,424 @@
+//! Content-addressed, two-tier job cache with single-flight computation.
+//!
+//! Keys are content fingerprints, never client-chosen names:
+//!
+//! - **netlist fingerprint** — FNV-1a ([`atspeed_trace::history::fingerprint`])
+//!   of the *canonicalized* `.bench` text (parse, then re-render), so
+//!   whitespace or declaration-order differences still hit;
+//! - **config fingerprint** — FNV-1a of
+//!   [`PipelineConfig::canonical_lines`](atspeed_core::PipelineConfig::canonical_lines),
+//!   which covers exactly the result-determining fields (thread count and
+//!   kernel choice are excluded — identical results are guaranteed at any
+//!   thread count, so a result computed at 4 threads serves a 1-thread
+//!   request).
+//!
+//! Tier 1 maps netlist fingerprints to `Arc<Netlist>`; the `Netlist`
+//! memoizes its own `CompiledCircuit`, so holding the `Arc` *is* the
+//! compiled-circuit cache. Tier 2 maps (netlist, config) keys to the
+//! serialized result body bytes — byte-identical on every hit.
+//!
+//! Both tiers evict least-recently-used entries under a
+//! [`CacheBudget`]; results additionally respect a total byte budget in
+//! the spirit of the pipeline's own
+//! [`MemoryBudget`](atspeed_core::MemoryBudget).
+//!
+//! Concurrent submissions of the same key are **single-flight**: the
+//! first becomes the computing thread, the rest block on a condvar and
+//! are served the cached bytes when it lands. If the computation fails,
+//! the entry is abandoned and exactly one waiter is promoted to compute.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use atspeed_circuit::Netlist;
+
+/// Identity of one cached result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the canonicalized netlist.
+    pub netlist_fp: String,
+    /// Fingerprint of the result-determining config lines.
+    pub config_fp: String,
+}
+
+/// Capacity bounds for both tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Maximum total bytes of cached result bodies.
+    pub max_result_bytes: usize,
+    /// Maximum cached (compiled) circuits.
+    pub max_circuits: usize,
+}
+
+impl Default for CacheBudget {
+    fn default() -> Self {
+        CacheBudget {
+            max_result_bytes: 256 * 1024 * 1024,
+            max_circuits: 64,
+        }
+    }
+}
+
+/// Monotonic counters; snapshot via [`JobCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Result lookups served from the cache.
+    pub hits: u64,
+    /// Result lookups that began a computation.
+    pub misses: u64,
+    /// Computations that completed and were stored.
+    pub computed: u64,
+    /// Results evicted under the byte budget.
+    pub evictions: u64,
+    /// Lookups that blocked on another thread's in-flight computation.
+    pub waits: u64,
+    /// Current total bytes of cached result bodies.
+    pub result_bytes: u64,
+    /// Current cached results.
+    pub results: u64,
+    /// Current cached circuits.
+    pub circuits: u64,
+}
+
+enum Slot {
+    InFlight,
+    Ready(Arc<Vec<u8>>),
+}
+
+struct CacheState {
+    results: HashMap<CacheKey, Slot>,
+    /// LRU order over Ready keys; front = least recent.
+    lru: Vec<CacheKey>,
+    result_bytes: usize,
+    circuits: HashMap<String, Arc<Netlist>>,
+    circuit_lru: Vec<String>,
+    stats: CacheStats,
+}
+
+/// The shared cache; `Arc<JobCache>` is cloned into every worker.
+pub struct JobCache {
+    budget: CacheBudget,
+    state: Mutex<CacheState>,
+    ready: Condvar,
+}
+
+/// What a result lookup produced.
+pub enum Lookup {
+    /// The cached body; serve it verbatim.
+    Hit(Arc<Vec<u8>>),
+    /// This thread must compute. Call [`JobCache::fulfill`] with the body
+    /// or [`JobCache::abandon`] on failure — leaking the token would
+    /// block waiters forever, so compute paths must be panic-caught.
+    Compute,
+}
+
+impl JobCache {
+    /// An empty cache under `budget`.
+    pub fn new(budget: CacheBudget) -> JobCache {
+        JobCache {
+            budget,
+            state: Mutex::new(CacheState {
+                results: HashMap::new(),
+                lru: Vec::new(),
+                result_bytes: 0,
+                circuits: HashMap::new(),
+                circuit_lru: Vec::new(),
+                stats: CacheStats::default(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Tier 1: the parsed (and lazily compiled) circuit for a netlist
+    /// fingerprint, inserting via `build` on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error (parse failure); nothing is cached.
+    pub fn circuit<E>(
+        &self,
+        netlist_fp: &str,
+        build: impl FnOnce() -> Result<Netlist, E>,
+    ) -> Result<Arc<Netlist>, E> {
+        {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(nl) = st.circuits.get(netlist_fp).cloned() {
+                touch_str(&mut st.circuit_lru, netlist_fp);
+                return Ok(nl);
+            }
+        }
+        // Build outside the lock: parsing a large netlist must not stall
+        // every other worker's lookups.
+        let nl = Arc::new(build()?);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = st
+            .circuits
+            .entry(netlist_fp.to_owned())
+            .or_insert_with(|| nl.clone())
+            .clone();
+        touch_str(&mut st.circuit_lru, netlist_fp);
+        while st.circuits.len() > self.budget.max_circuits && !st.circuit_lru.is_empty() {
+            let evicted = st.circuit_lru.remove(0);
+            st.circuits.remove(&evicted);
+        }
+        st.stats.circuits = st.circuits.len() as u64;
+        Ok(entry)
+    }
+
+    /// Tier 2 lookup with single-flight semantics. Blocks while another
+    /// thread computes the same key.
+    pub fn lookup(&self, key: &CacheKey) -> Lookup {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match st.results.get(key) {
+                Some(Slot::Ready(bytes)) => {
+                    let bytes = bytes.clone();
+                    st.stats.hits += 1;
+                    touch(&mut st.lru, key);
+                    return Lookup::Hit(bytes);
+                }
+                Some(Slot::InFlight) => {
+                    st.stats.waits += 1;
+                    st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                None => {
+                    st.results.insert(key.clone(), Slot::InFlight);
+                    st.stats.misses += 1;
+                    return Lookup::Compute;
+                }
+            }
+        }
+    }
+
+    /// Stores the computed body for `key`, wakes all waiters, and evicts
+    /// least-recently-used results until the byte budget holds. The entry
+    /// just stored is never evicted by its own insertion.
+    pub fn fulfill(&self, key: &CacheKey, body: Vec<u8>) -> Arc<Vec<u8>> {
+        let bytes = Arc::new(body);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.result_bytes += bytes.len();
+        st.results.insert(key.clone(), Slot::Ready(bytes.clone()));
+        touch(&mut st.lru, key);
+        st.stats.computed += 1;
+        while st.result_bytes > self.budget.max_result_bytes && st.lru.len() > 1 {
+            let evicted = st.lru.remove(0);
+            if let Some(Slot::Ready(old)) = st.results.remove(&evicted) {
+                st.result_bytes -= old.len();
+                st.stats.evictions += 1;
+            }
+        }
+        st.stats.result_bytes = st.result_bytes as u64;
+        st.stats.results = st.lru.len() as u64;
+        drop(st);
+        self.ready.notify_all();
+        bytes
+    }
+
+    /// Drops the in-flight entry for `key` after a failed computation and
+    /// wakes waiters; exactly one of them is promoted to compute.
+    pub fn abandon(&self, key: &CacheKey) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(st.results.get(key), Some(Slot::InFlight)) {
+            st.results.remove(key);
+        }
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).stats
+    }
+}
+
+/// Moves `key` to the most-recent end of `lru`, inserting if absent.
+fn touch<K: Clone + PartialEq>(lru: &mut Vec<K>, key: &K) {
+    if let Some(pos) = lru.iter().position(|k| k == key) {
+        lru.remove(pos);
+    }
+    lru.push(key.clone());
+}
+
+/// [`touch`] without forcing the caller to own a `String`.
+fn touch_str(lru: &mut Vec<String>, key: &str) {
+    if let Some(pos) = lru.iter().position(|k| k == key) {
+        lru.remove(pos);
+    }
+    lru.push(key.to_owned());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn key(netlist: &str, config: &str) -> CacheKey {
+        CacheKey {
+            netlist_fp: netlist.to_owned(),
+            config_fp: config.to_owned(),
+        }
+    }
+
+    fn compute_and_fulfill(cache: &JobCache, k: &CacheKey, body: &[u8]) -> Arc<Vec<u8>> {
+        match cache.lookup(k) {
+            Lookup::Hit(b) => b,
+            Lookup::Compute => cache.fulfill(k, body.to_vec()),
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_forces_recompute() {
+        let cache = JobCache::new(CacheBudget::default());
+        compute_and_fulfill(&cache, &key("nl-a", "cfg-1"), b"result-a1");
+        // Same netlist, different config: must be a miss.
+        assert!(matches!(
+            cache.lookup(&key("nl-a", "cfg-2")),
+            Lookup::Compute
+        ));
+        cache.abandon(&key("nl-a", "cfg-2"));
+        // Same config, different netlist: must be a miss.
+        assert!(matches!(
+            cache.lookup(&key("nl-b", "cfg-1")),
+            Lookup::Compute
+        ));
+        cache.abandon(&key("nl-b", "cfg-1"));
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.computed, 1);
+    }
+
+    #[test]
+    fn hit_returns_byte_identical_body() {
+        let cache = JobCache::new(CacheBudget::default());
+        let k = key("nl", "cfg");
+        let first = compute_and_fulfill(&cache, &k, b"the canonical result body\n");
+        for _ in 0..3 {
+            match cache.lookup(&k) {
+                Lookup::Hit(body) => {
+                    assert_eq!(*body, *first, "hits serve the stored bytes verbatim");
+                    assert!(Arc::ptr_eq(&body, &first), "no copy is made");
+                }
+                Lookup::Compute => panic!("second lookup must hit"),
+            }
+        }
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cache.stats().computed, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        // Budget fits two 8-byte bodies, not three.
+        let cache = JobCache::new(CacheBudget {
+            max_result_bytes: 20,
+            max_circuits: 4,
+        });
+        compute_and_fulfill(&cache, &key("a", "c"), b"12345678");
+        compute_and_fulfill(&cache, &key("b", "c"), b"12345678");
+        // Touch `a` so `b` is the least recently used.
+        assert!(matches!(cache.lookup(&key("a", "c")), Lookup::Hit(_)));
+        compute_and_fulfill(&cache, &key("c", "c"), b"12345678");
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.result_bytes <= 20, "{s:?}");
+        assert!(
+            matches!(cache.lookup(&key("a", "c")), Lookup::Hit(_)),
+            "MRU survives"
+        );
+        assert!(
+            matches!(cache.lookup(&key("c", "c")), Lookup::Hit(_)),
+            "newest survives"
+        );
+        assert!(
+            matches!(cache.lookup(&key("b", "c")), Lookup::Compute),
+            "LRU entry was evicted"
+        );
+        cache.abandon(&key("b", "c"));
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let cache = Arc::new(JobCache::new(CacheBudget::default()));
+        let computations = Arc::new(AtomicUsize::new(0));
+        let k = key("shared", "cfg");
+        let bodies: Vec<Vec<u8>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let computations = computations.clone();
+                    let k = k.clone();
+                    s.spawn(move || match cache.lookup(&k) {
+                        Lookup::Hit(b) => b.to_vec(),
+                        Lookup::Compute => {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            // Let other threads pile onto the in-flight slot.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            cache.fulfill(&k, b"single-flight body".to_vec()).to_vec()
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            computations.load(Ordering::SeqCst),
+            1,
+            "exactly one compute"
+        );
+        assert_eq!(cache.stats().computed, 1);
+        for body in &bodies {
+            assert_eq!(body, b"single-flight body");
+        }
+    }
+
+    #[test]
+    fn abandoned_computation_promotes_one_waiter() {
+        let cache = Arc::new(JobCache::new(CacheBudget::default()));
+        let k = key("flaky", "cfg");
+        assert!(matches!(cache.lookup(&k), Lookup::Compute));
+        let waiter = {
+            let cache = cache.clone();
+            let k = k.clone();
+            std::thread::spawn(move || match cache.lookup(&k) {
+                Lookup::Hit(_) => panic!("nothing was fulfilled"),
+                Lookup::Compute => {
+                    cache.fulfill(&k, b"second try".to_vec());
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.abandon(&k);
+        waiter.join().unwrap();
+        match cache.lookup(&k) {
+            Lookup::Hit(b) => assert_eq!(*b, b"second try".to_vec()),
+            Lookup::Compute => panic!("waiter's result must be cached"),
+        }
+    }
+
+    #[test]
+    fn circuit_tier_builds_once_and_evicts_lru() {
+        let cache = JobCache::new(CacheBudget {
+            max_result_bytes: 1024,
+            max_circuits: 2,
+        });
+        let builds = AtomicUsize::new(0);
+        let build = || -> Result<Netlist, String> {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Ok(atspeed_circuit::bench_fmt::s27())
+        };
+        let a = cache.circuit("fp-a", build).unwrap();
+        let again = cache.circuit("fp-a", build).unwrap();
+        assert!(Arc::ptr_eq(&a, &again), "cached instance is shared");
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        cache.circuit("fp-b", build).unwrap();
+        cache.circuit("fp-c", build).unwrap(); // evicts fp-a
+        cache.circuit("fp-a", build).unwrap();
+        assert_eq!(builds.load(Ordering::SeqCst), 4, "evicted circuit rebuilt");
+        assert!(
+            cache
+                .circuit("fp-a", || Err::<Netlist, _>("parse error".to_owned()))
+                .is_ok(),
+            "still cached — builder not called"
+        );
+    }
+}

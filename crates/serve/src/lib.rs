@@ -1,0 +1,60 @@
+//! ATPG-as-a-service: a long-running batch server for the compaction
+//! pipeline, with a content-addressed result cache.
+//!
+//! The ROADMAP's north star is a production system serving repeated
+//! compaction requests from many users; every other binary in the
+//! workspace is one-shot. This crate closes that gap with zero new
+//! dependencies — `std::net` TCP, the workspace's own FNV-1a
+//! fingerprints, and the repro-bundle text formats as the wire encoding:
+//!
+//! - [`protocol`] — bounded length-prefixed frames (`b"ATSP"` magic),
+//!   line-oriented text payloads, and the canonical result-body
+//!   rendering. Oversized or malformed frames are structured errors
+//!   answered with an explicit `Error` reply, never a panic or an
+//!   unbounded read.
+//! - [`cache`] — the two-tier content-addressed cache: compiled circuits
+//!   keyed by canonicalized-netlist fingerprint, serialized results keyed
+//!   by (netlist, config) fingerprint pair, with single-flight
+//!   computation, LRU eviction under a byte budget, and hit bodies that
+//!   are byte-identical to the first computation.
+//! - [`server`] — the acceptor + worker pool. Jobs run
+//!   [`Pipeline::from_config`](atspeed_core::Pipeline::from_config)
+//!   reentrantly; each job gets its own span tree, simulation-stats
+//!   scope, and run-history record. A job failure (including a panic) is
+//!   an error *response*, never a process abort.
+//! - [`client`] — the blocking client behind the `atspeedctl` binary
+//!   (`ping`, `submit`, `stats`, `shutdown`).
+//!
+//! # Example
+//!
+//! ```
+//! use atspeed_serve::{Client, ServeConfig, Server};
+//! use atspeed_core::PipelineConfig;
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//!
+//! let bench = atspeed_circuit::bench_fmt::write(&atspeed_circuit::bench_fmt::s27());
+//! let first = client.submit("s27", &bench, &PipelineConfig::default()).unwrap();
+//! let second = client.submit("s27", &bench, &PipelineConfig::default()).unwrap();
+//! assert_eq!(first.body, second.body, "cache hits are byte-identical");
+//!
+//! client.shutdown().unwrap();
+//! server.wait();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheBudget, CacheKey, CacheStats, JobCache, Lookup};
+pub use client::{Client, ClientError, SubmitReply};
+pub use protocol::{
+    decode_result_summary, encode_result, read_frame, write_frame, CacheOutcome, Frame, FrameKind,
+    ProtocolError, ResponseHeader, SubmitRequest, MAX_FRAME,
+};
+pub use server::{ServeConfig, Server};

@@ -116,19 +116,71 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Reads `SIM_THREADS` (unset or unparsable means `1`, serial; `0`
-    /// means one thread per available core) and `SIM_ENGINE` (`scalar`,
-    /// `wide`, or `wide+fused`; unset or unparsable means `scalar`) from
-    /// the environment.
+    /// Reads `SIM_THREADS` (unset means `1`, serial; `0` means one thread
+    /// per available core) and `SIM_ENGINE` (`scalar`, `wide`, or
+    /// `wide+fused`; unset means `scalar`) from the environment,
+    /// **rejecting** unparsable values.
+    ///
+    /// Prefer this in anything long-running or gated: a typo like
+    /// `SIM_ENGINE=widefused` silently running the slow scalar engine can
+    /// mask a performance regression (or a CI kernel gate) for a long
+    /// time. [`SimConfig::from_env`] is the lenient wrapper that falls
+    /// back to the defaults but logs a `warn!` event, so the typo is at
+    /// least visible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unparsable variable.
+    pub fn try_from_env() -> Result<Self, String> {
+        let threads = match std::env::var("SIM_THREADS") {
+            Ok(s) => s
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad SIM_THREADS `{s}` (expected a thread count)"))?,
+            Err(_) => 1,
+        };
+        let engine = match std::env::var("SIM_ENGINE") {
+            Ok(s) => s
+                .parse::<EngineKind>()
+                .map_err(|e| format!("bad SIM_ENGINE: {e}"))?,
+            Err(_) => EngineKind::default(),
+        };
+        Ok(SimConfig {
+            threads,
+            chunk_size: 0,
+            engine,
+        })
+    }
+
+    /// Reads `SIM_THREADS` and `SIM_ENGINE` from the environment like
+    /// [`SimConfig::try_from_env`], but each unparsable variable falls
+    /// back to its default (serial threads, scalar engine) after emitting
+    /// a `warn!` log event naming the bad value — never silently. A valid
+    /// variable is honored even when the other one is broken.
     pub fn from_env() -> Self {
-        let threads = std::env::var("SIM_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or(1);
-        let engine = std::env::var("SIM_ENGINE")
-            .ok()
-            .and_then(|s| s.parse::<EngineKind>().ok())
-            .unwrap_or_default();
+        let threads = match std::env::var("SIM_THREADS") {
+            Ok(s) => s.trim().parse::<usize>().unwrap_or_else(|_| {
+                atspeed_trace::warn!(
+                    "sim.config",
+                    "ignoring unparsable SIM_THREADS; running serial";
+                    value = s,
+                );
+                1
+            }),
+            Err(_) => 1,
+        };
+        let engine = match std::env::var("SIM_ENGINE") {
+            Ok(s) => s.parse::<EngineKind>().unwrap_or_else(|e| {
+                atspeed_trace::warn!(
+                    "sim.config",
+                    "ignoring unparsable SIM_ENGINE; using the scalar kernel";
+                    value = s,
+                    reason = e,
+                );
+                EngineKind::default()
+            }),
+            Err(_) => EngineKind::default(),
+        };
         SimConfig {
             threads,
             chunk_size: 0,
@@ -363,12 +415,16 @@ impl<'a> ParallelFsim<'a> {
         let results: Mutex<Vec<R>> = Mutex::new(vec![R::default(); parts.len()]);
         // Workers inherit the spawning thread's stats destination (the
         // handle stack is thread-local); the enter guard also flushes each
-        // worker's batched counts once, on exit.
+        // worker's batched counts once, on exit. They likewise inherit an
+        // active span scope, so a scoped job's partition spans land on the
+        // job's tracer, not the process-wide one.
         let h = stats::handle();
+        let scope_tracer = atspeed_trace::current_scope();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
                     let _g = h.enter();
+                    let _ts = scope_tracer.clone().map(atspeed_trace::scope);
                     let mut engine = mk();
                     loop {
                         let p = next.fetch_add(1, Ordering::Relaxed);
@@ -453,10 +509,12 @@ impl<'a> ParallelFsim<'a> {
         let shared = SharedDetectMap::new(faults.len());
         let next = AtomicUsize::new(0);
         let h = stats::handle();
+        let scope_tracer = atspeed_trace::current_scope();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
                     let _g = h.enter();
+                    let _ts = scope_tracer.clone().map(atspeed_trace::scope);
                     let mut sim = CombFaultSim::with_engine(self.nl, self.cfg.engine);
                     let mut alive_idx: Vec<usize> = Vec::with_capacity(faults.len());
                     let mut alive_ids: Vec<FaultId> = Vec::with_capacity(faults.len());
@@ -734,10 +792,12 @@ impl<'a> ParallelFsim<'a> {
         let shared = SharedDetectMap::new(faults.len());
         let next = AtomicUsize::new(0);
         let h = stats::handle();
+        let scope_tracer = atspeed_trace::current_scope();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
                     let _g = h.enter();
+                    let _ts = scope_tracer.clone().map(atspeed_trace::scope);
                     let mut sim = SeqFaultSim::with_engine(self.nl, self.cfg.engine);
                     let mut alive_idx: Vec<usize> = Vec::with_capacity(faults.len());
                     let mut alive_ids: Vec<FaultId> = Vec::with_capacity(faults.len());
@@ -809,6 +869,45 @@ mod tests {
         assert_eq!(cfg.effective_threads(0), 1);
         assert_eq!(SimConfig::default().effective_threads(100), 1);
         assert!(SimConfig::with_threads(0).effective_threads(100) >= 1);
+    }
+
+    #[test]
+    fn env_parsing_rejects_garbage_and_accepts_valid_values() {
+        // Serialize env mutation: other tests may read SIM_* concurrently,
+        // so every env-touching assertion lives in this one test.
+        let set = |k: &str, v: Option<&str>| match v {
+            Some(v) => std::env::set_var(k, v),
+            None => std::env::remove_var(k),
+        };
+        let saved_t = std::env::var("SIM_THREADS").ok();
+        let saved_e = std::env::var("SIM_ENGINE").ok();
+
+        set("SIM_THREADS", Some("4"));
+        set("SIM_ENGINE", Some("wide+fused"));
+        let cfg = SimConfig::try_from_env().expect("valid values parse");
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.engine, EngineKind::WideFused);
+        assert_eq!(SimConfig::from_env(), cfg);
+
+        // The historical bug: `widefused` silently fell back to scalar.
+        set("SIM_ENGINE", Some("widefused"));
+        let err = SimConfig::try_from_env().expect_err("typo engines are rejected");
+        assert!(err.contains("widefused"), "{err}");
+        // The lenient wrapper keeps the *valid* thread count.
+        let lenient = SimConfig::from_env();
+        assert_eq!(lenient.threads, 4);
+        assert_eq!(lenient.engine, EngineKind::Scalar);
+
+        set("SIM_THREADS", Some("many"));
+        set("SIM_ENGINE", Some("wide"));
+        let err = SimConfig::try_from_env().expect_err("bad thread counts are rejected");
+        assert!(err.contains("SIM_THREADS"), "{err}");
+        let lenient = SimConfig::from_env();
+        assert_eq!(lenient.threads, 1);
+        assert_eq!(lenient.engine, EngineKind::Wide);
+
+        set("SIM_THREADS", saved_t.as_deref());
+        set("SIM_ENGINE", saved_e.as_deref());
     }
 
     #[test]

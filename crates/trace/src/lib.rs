@@ -72,8 +72,8 @@ pub use metrics::{
 };
 pub use profile::{validate_folded, Profiler};
 pub use span::{
-    chrome_trace_json, set_tracing, span, span_args, tracing_enabled, write_chrome_trace, Span,
-    Tracer,
+    chrome_trace_json, current_scope, scope, set_tracing, span, span_args, tracing_enabled,
+    write_chrome_trace, Span, Tracer, TracerScope,
 };
 
 /// Escapes a string for embedding inside a JSON string literal.

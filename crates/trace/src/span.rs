@@ -26,6 +26,7 @@ use std::borrow::Cow;
 use std::cell::RefCell;
 use std::fmt;
 use std::io;
+use std::marker::PhantomData;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -35,9 +36,18 @@ use std::time::Instant;
 /// thread-local buffer caches by id, so test instances never mix).
 static NEXT_TRACER_ID: AtomicUsize = AtomicUsize::new(0);
 
+/// Number of live [`TracerScope`]s across all threads. While zero (the
+/// overwhelmingly common case), the free span functions skip the
+/// thread-local scope lookup entirely — one relaxed load, as before.
+static SCOPE_DEPTH: AtomicUsize = AtomicUsize::new(0);
+
 thread_local! {
     /// Cache of this thread's buffers, one per tracer it has recorded to.
     static LOCAL_BUFS: RefCell<Vec<(usize, Arc<ThreadBuf>)>> = const { RefCell::new(Vec::new()) };
+
+    /// This thread's stack of scoped tracers; the innermost one receives
+    /// the free-function spans instead of the process-wide tracer.
+    static SCOPE_STACK: RefCell<Vec<Arc<Tracer>>> = const { RefCell::new(Vec::new()) };
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +161,7 @@ impl Tracer {
         if !self.is_enabled() {
             return Span {
                 tracer: None,
+                scoped: None,
                 name: Cow::Borrowed(""),
                 profiled: false,
             };
@@ -168,6 +179,7 @@ impl Tracer {
         if !self.is_enabled() {
             return Span {
                 tracer: None,
+                scoped: None,
                 name: Cow::Borrowed(""),
                 profiled: false,
             };
@@ -179,6 +191,7 @@ impl Tracer {
         self.emit(name.clone(), Phase::Begin, args);
         Span {
             tracer: Some(self),
+            scoped: None,
             name,
             profiled: false,
         }
@@ -267,6 +280,9 @@ fn render_args(args: &[(&str, &dyn fmt::Display)]) -> String {
 #[must_use = "a span ends when its guard drops; binding it to `_` ends it immediately"]
 pub struct Span<'a> {
     tracer: Option<&'a Tracer>,
+    /// Owned handle for spans redirected into a [`TracerScope`]'s tracer
+    /// (the guard may outlive the scope, so it keeps the tracer alive).
+    scoped: Option<Arc<Tracer>>,
     name: Cow<'static, str>,
     profiled: bool,
 }
@@ -276,10 +292,58 @@ impl Drop for Span<'_> {
         if self.profiled {
             crate::profile::pop();
         }
-        if let Some(tracer) = self.tracer {
+        if let Some(tracer) = &self.scoped {
+            tracer.emit(std::mem::take(&mut self.name), Phase::End, None);
+        } else if let Some(tracer) = self.tracer {
             tracer.emit(std::mem::take(&mut self.name), Phase::End, None);
         }
     }
+}
+
+/// Redirects this thread's free-function spans ([`span`], [`span_args`])
+/// into `tracer` until the guard drops — the mechanism behind per-job
+/// span trees in long-running services: a worker enters a scope with a
+/// fresh job-local tracer, runs the job, and exports that tracer alone,
+/// so concurrent jobs never mix span trees.
+///
+/// Scopes nest (innermost wins) and are strictly per-thread; the guard is
+/// deliberately `!Send`. Worker pools that fan a scoped job out across
+/// helper threads re-enter the scope there via [`current_scope`]. While a
+/// scope is active on a thread, that thread's free-function spans go
+/// *only* to the scoped tracer, not to the process-wide one.
+#[derive(Debug)]
+#[must_use = "a scope ends when its guard drops; binding it to `_` ends it immediately"]
+pub struct TracerScope {
+    /// Keep the guard on the thread that opened it (thread-local stack).
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Enters a span scope on the current thread; see [`TracerScope`].
+pub fn scope(tracer: Arc<Tracer>) -> TracerScope {
+    SCOPE_STACK.with(|s| s.borrow_mut().push(tracer));
+    SCOPE_DEPTH.fetch_add(1, Ordering::Relaxed);
+    TracerScope {
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for TracerScope {
+    fn drop(&mut self) {
+        SCOPE_DEPTH.fetch_sub(1, Ordering::Relaxed);
+        SCOPE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost scoped tracer on this thread, if any. Helper-thread
+/// pools capture this before spawning and re-[`scope`] it on each worker
+/// so a scoped job's spans stay with the job across threads.
+pub fn current_scope() -> Option<Arc<Tracer>> {
+    if SCOPE_DEPTH.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    SCOPE_STACK.with(|s| s.borrow().last().cloned())
 }
 
 /// The process-wide tracer, lazily constructed.
@@ -305,49 +369,65 @@ pub fn tracing_enabled() -> bool {
     GLOBAL.get().is_some_and(Tracer::is_enabled)
 }
 
-/// Opens a span on the process-wide tracer, and pushes a frame onto the
-/// process-wide profiler's span stack when profiling is enabled.
-/// Near-free while both are disabled (one relaxed atomic load each).
+/// Opens a span on the process-wide tracer — or on the current thread's
+/// [`TracerScope`] tracer when one is active — and pushes a frame onto
+/// the process-wide profiler's span stack when profiling is enabled.
+/// Near-free while all three are disabled (one relaxed atomic load each).
 #[inline]
 pub fn span(name: impl Into<Cow<'static, str>>) -> Span<'static> {
-    let name = name.into();
-    let profiled = crate::profile::push(&name);
-    match GLOBAL.get() {
-        Some(t) if t.is_enabled() => {
-            t.emit(name.clone(), Phase::Begin, None);
-            Span {
-                tracer: Some(t),
-                name,
-                profiled,
-            }
-        }
-        _ => Span {
-            tracer: None,
-            name: Cow::Borrowed(""),
-            profiled,
-        },
-    }
+    free_span(name.into(), None)
 }
 
-/// Opens a span with arguments on the process-wide tracer. Profiles like
-/// [`span`] (arguments are not part of the profile frame).
+/// Opens a span with arguments on the process-wide tracer (or the active
+/// [`TracerScope`]'s). Profiles like [`span`] (arguments are not part of
+/// the profile frame).
 pub fn span_args(
     name: impl Into<Cow<'static, str>>,
     args: &[(&str, &dyn fmt::Display)],
 ) -> Span<'static> {
     let name = name.into();
+    // Render args lazily: only when some tracer will actually record.
+    if current_scope().is_none() && !tracing_enabled() {
+        return free_span(name, None);
+    }
+    let rendered = render_args(args);
+    free_span(name, Some(rendered))
+}
+
+fn free_span(name: Cow<'static, str>, args: Option<String>) -> Span<'static> {
     let profiled = crate::profile::push(&name);
+    if let Some(t) = current_scope() {
+        if t.is_enabled() {
+            t.emit(name.clone(), Phase::Begin, args);
+            return Span {
+                tracer: None,
+                scoped: Some(t),
+                name,
+                profiled,
+            };
+        }
+        // An entered-but-disabled scope still isolates the job: its spans
+        // must not leak into the process-wide trace.
+        return Span {
+            tracer: None,
+            scoped: None,
+            name: Cow::Borrowed(""),
+            profiled,
+        };
+    }
     match GLOBAL.get() {
         Some(t) if t.is_enabled() => {
-            t.emit(name.clone(), Phase::Begin, Some(render_args(args)));
+            t.emit(name.clone(), Phase::Begin, args);
             Span {
                 tracer: Some(t),
+                scoped: None,
                 name,
                 profiled,
             }
         }
         _ => Span {
             tracer: None,
+            scoped: None,
             name: Cow::Borrowed(""),
             profiled,
         },
@@ -417,6 +497,74 @@ mod tests {
         drop(t.span_args("s", &[("label", &"a\"b")]));
         let json = t.chrome_trace_json();
         assert!(json.contains("\"label\":\"a\\\"b\""));
+    }
+
+    #[test]
+    fn tracer_scope_captures_free_spans_in_isolation() {
+        let job = Arc::new(Tracer::new());
+        job.set_enabled(true);
+        {
+            let _scope = scope(Arc::clone(&job));
+            let _a = span("job.phase");
+            drop(span_args("job.inner", &[("k", &7)]));
+        }
+        // 2 spans x begin+end landed on the job tracer, none on global.
+        assert_eq!(job.num_events(), 4);
+        let json = job.chrome_trace_json();
+        assert!(json.contains("job.phase"), "{json}");
+        assert!(json.contains("\"k\":\"7\""), "{json}");
+        // After the scope ends, free spans fall back to the global path
+        // (which is disabled here, so nothing more records on `job`).
+        drop(span("after"));
+        assert_eq!(job.num_events(), 4);
+    }
+
+    #[test]
+    fn nested_scopes_innermost_wins_and_disabled_scopes_isolate() {
+        let outer = Arc::new(Tracer::new());
+        outer.set_enabled(true);
+        let inner = Arc::new(Tracer::new());
+        inner.set_enabled(true);
+        let _o = scope(Arc::clone(&outer));
+        {
+            let _i = scope(Arc::clone(&inner));
+            drop(span("x"));
+        }
+        assert_eq!(inner.num_events(), 2);
+        assert_eq!(outer.num_events(), 0, "inner scope shadows outer");
+        drop(span("y"));
+        assert_eq!(outer.num_events(), 2, "outer scope resumes");
+
+        // A scope whose tracer is disabled still swallows spans rather
+        // than leaking them to the process-wide tracer.
+        let off = Arc::new(Tracer::new());
+        {
+            let _s = scope(Arc::clone(&off));
+            drop(span("swallowed"));
+        }
+        assert_eq!(off.num_events(), 0);
+        assert_eq!(outer.num_events(), 2, "swallowed span leaks nowhere");
+    }
+
+    #[test]
+    fn current_scope_reports_the_innermost_tracer() {
+        assert!(current_scope().is_none());
+        let t = Arc::new(Tracer::new());
+        let _s = scope(Arc::clone(&t));
+        let seen = current_scope().expect("scope active");
+        assert!(Arc::ptr_eq(&seen, &t));
+    }
+
+    #[test]
+    fn span_guard_outliving_its_scope_still_closes_on_the_job_tracer() {
+        let job = Arc::new(Tracer::new());
+        job.set_enabled(true);
+        let guard = {
+            let _scope = scope(Arc::clone(&job));
+            span("outlives")
+        };
+        drop(guard);
+        assert_eq!(job.num_events(), 2, "begin and end both on the job");
     }
 
     #[test]

@@ -709,6 +709,97 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
     out
 }
 
+/// Aggregate result of [`run_malformed_fuzz`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MalformedOutcome {
+    /// Mutated inputs fed to the parsers.
+    pub cases_run: usize,
+    /// Inputs the parsers rejected with a structured error.
+    pub rejected: usize,
+    /// Inputs that still parsed (benign mutations happen).
+    pub accepted: usize,
+}
+
+/// Feeds `iters` deterministically mutated inputs into the two parsing
+/// surfaces a served request reaches — `.bench` netlist parsing
+/// ([`bench_fmt::parse`]) and the stimuli wire codec
+/// ([`crate::repro::decode_stimuli`]) — and asserts, by returning at all,
+/// that no mutation panics, aborts, or wedges a parser. Every malformed
+/// input must surface as an `Err`; benign mutations that still parse are
+/// counted, not failed.
+///
+/// This is the client-cannot-crash-the-server guarantee at the payload
+/// layer; the serve crate's own tests cover the framing layer.
+pub fn run_malformed_fuzz(seed: u64, iters: usize) -> MalformedOutcome {
+    let _sp = atspeed_trace::span("verify.malformed");
+    let mut next = rng(seed ^ 0xBAD_F00D);
+    let case = Case::from_iteration(seed, 0);
+    let nl = generate(&case.spec).expect("derived specs generate");
+    let bench = atspeed_circuit::bench_fmt::write(&nl);
+    let (init, seq) = case_stimuli(&case, &nl);
+    let vectors = crate::repro::encode_stimuli(&init, &seq);
+
+    let mutate = |text: &str, next: &mut dyn FnMut() -> u64| -> String {
+        let mut bytes = text.as_bytes().to_vec();
+        match next() % 6 {
+            // Truncate mid-declaration.
+            0 => bytes.truncate((next() as usize) % (bytes.len() + 1)),
+            // Flip one byte to arbitrary ASCII (including NUL and DEL).
+            1 if !bytes.is_empty() => {
+                let i = (next() as usize) % bytes.len();
+                bytes[i] = (next() & 0x7f) as u8;
+            }
+            // Splice in a garbage line.
+            2 => {
+                let i = (next() as usize) % (bytes.len() + 1);
+                let junk: Vec<u8> = (0..1 + next() % 40)
+                    .map(|_| (next() & 0x7f) as u8)
+                    .collect();
+                bytes.splice(i..i, junk);
+            }
+            // Duplicate a random chunk (redefinitions, repeated vectors).
+            3 if bytes.len() > 1 => {
+                let a = (next() as usize) % bytes.len();
+                let b = a + (next() as usize) % (bytes.len() - a);
+                let chunk = bytes[a..b].to_vec();
+                bytes.extend(chunk);
+            }
+            // Replace wholesale with short binary junk.
+            4 => bytes = (0..next() % 64).map(|_| next() as u8).collect(),
+            // Blow one line up to a few kilobytes (bounded-read probe).
+            _ => {
+                let c = [b'0', b'1', b'x', b'('][(next() % 4) as usize];
+                bytes.extend(std::iter::repeat_n(c, 4096));
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    };
+
+    let mut out = MalformedOutcome::default();
+    for i in 0..iters {
+        let (parsed, decoded) = if i % 2 == 0 {
+            let text = mutate(&bench, &mut next);
+            (
+                atspeed_circuit::bench_fmt::parse("malformed", &text).is_ok(),
+                crate::repro::decode_stimuli(&vectors, nl.num_ffs(), nl.num_pis()).is_ok(),
+            )
+        } else {
+            let text = mutate(&vectors, &mut next);
+            (
+                true,
+                crate::repro::decode_stimuli(&text, nl.num_ffs(), nl.num_pis()).is_ok(),
+            )
+        };
+        out.cases_run += 1;
+        if parsed && decoded {
+            out.accepted += 1;
+        } else {
+            out.rejected += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -751,6 +842,17 @@ mod tests {
             outcome.failures.is_empty(),
             "engines diverged: {:?}",
             outcome.failures
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_reject_without_panicking() {
+        let out = run_malformed_fuzz(0xC0FFEE, 200);
+        assert_eq!(out.cases_run, 200);
+        assert_eq!(out.rejected + out.accepted, 200);
+        assert!(
+            out.rejected > 0,
+            "mutations this aggressive must produce rejects: {out:?}"
         );
     }
 

@@ -48,7 +48,11 @@ pub mod shrink;
 
 pub use atspeed_core::oracle::{verify_test_set, ClaimedCoverage, OracleReport};
 pub use fuzz::{
-    run_case, run_fuzz, Case, CaseReport, Divergence, FuzzConfig, FuzzFailure, FuzzOutcome,
+    run_case, run_fuzz, run_malformed_fuzz, Case, CaseReport, Divergence, FuzzConfig, FuzzFailure,
+    FuzzOutcome, MalformedOutcome,
 };
-pub use repro::{dump_repro, load_repro, replay, ReplayReport, ReproBundle, ReproError};
+pub use repro::{
+    decode_stimuli, dump_repro, encode_stimuli, load_repro, replay, ReplayReport, ReproBundle,
+    ReproError,
+};
 pub use shrink::{minimize, minimize_with};
